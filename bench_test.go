@@ -1,0 +1,206 @@
+// Benchmarks regenerating every table and figure of the paper, one
+// testing.B benchmark per experiment (quick configuration: datasets
+// shrunk 16× and steep scaling, so each iteration runs in seconds).
+// The benchmark time measures the wall cost of the reproduction; the
+// paper-facing quantities (virtual running time, spill volumes) are
+// attached as custom metrics.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// Full-fidelity numbers come from cmd/benchtables at -scale 1/512.
+package onepass_test
+
+import (
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/experiments"
+)
+
+// benchExperiment runs one registered experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.Get(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	cfg := experiments.Config{Scale: 1.0 / 4096, Quick: true, Seed: 42}
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One benchmark per paper artifact.
+
+func BenchmarkTable1StockHadoop(b *testing.B)        { benchExperiment(b, "table1") }
+func BenchmarkFig2StockTimeline(b *testing.B)        { benchExperiment(b, "fig2") }
+func BenchmarkFig2dSSDIntermediates(b *testing.B)    { benchExperiment(b, "fig2d") }
+func BenchmarkFig2efHOPUtilization(b *testing.B)     { benchExperiment(b, "fig2ef") }
+func BenchmarkFig4abModelVsMeasured(b *testing.B)    { benchExperiment(b, "fig4ab") }
+func BenchmarkFig4cProgressOptimized(b *testing.B)   { benchExperiment(b, "fig4c") }
+func BenchmarkFig4deOptimizedUtil(b *testing.B)      { benchExperiment(b, "fig4de") }
+func BenchmarkFig4fHOPProgress(b *testing.B)         { benchExperiment(b, "fig4f") }
+func BenchmarkSec32ReducerWaves(b *testing.B)        { benchExperiment(b, "sec32r") }
+func BenchmarkTable3PlatformComparison(b *testing.B) { benchExperiment(b, "table3") }
+func BenchmarkFig7dStateSizes(b *testing.B)          { benchExperiment(b, "fig7d") }
+func BenchmarkTable4DINCvsINC(b *testing.B)          { benchExperiment(b, "table4") }
+func BenchmarkFig7fTrigram(b *testing.B)             { benchExperiment(b, "fig7f") }
+
+// benchJob measures one job end to end and reports virtual time and
+// spill volume as custom metrics.
+func benchJob(b *testing.B, platform onepass.Platform, mkQuery func() onepass.Query, km float64) {
+	b.Helper()
+	m := onepass.DefaultModel(1.0 / 4096)
+	cluster := onepass.PaperCluster(m)
+	cluster.MergeFactor = 16
+	const users = 20_000
+	input := onepass.SyntheticClickStream(onepass.ClickStreamSpec{
+		PhysBytes: m.ScaleBytes(16e9),
+		ChunkPhys: m.ScaleBytes(64e6),
+		Seed:      42,
+		Users:     users,
+		UserSkew:  1.2,
+		URLs:      10_000,
+		URLSkew:   1.3,
+		Duration:  24 * time.Hour,
+		Jitter:    2 * time.Second,
+	})
+	var virtual time.Duration
+	var spill int64
+	for i := 0; i < b.N; i++ {
+		rep, err := onepass.Run(onepass.Job{
+			Query:     mkQuery(),
+			Input:     input,
+			Platform:  platform,
+			Cluster:   cluster,
+			Hints:     onepass.Hints{Km: km, DistinctKeys: users},
+			ScanEvery: 4096,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		virtual = rep.RunningTime
+		spill = rep.ReduceSpillBytes
+	}
+	b.ReportMetric(virtual.Seconds(), "virtual-s")
+	b.ReportMetric(float64(spill)/1e9, "spill-GB")
+}
+
+// Head-to-head platform benchmarks on the sessionization workload.
+
+func BenchmarkJobSessionizationSM(b *testing.B) {
+	benchJob(b, onepass.SortMerge, func() onepass.Query {
+		return onepass.Sessionization(5*time.Minute, 512, 5*time.Second)
+	}, 1.15)
+}
+
+func BenchmarkJobSessionizationMRHash(b *testing.B) {
+	benchJob(b, onepass.MRHash, func() onepass.Query {
+		return onepass.Sessionization(5*time.Minute, 512, 5*time.Second)
+	}, 1.15)
+}
+
+func BenchmarkJobSessionizationINCHash(b *testing.B) {
+	benchJob(b, onepass.INCHash, func() onepass.Query {
+		return onepass.Sessionization(5*time.Minute, 512, 5*time.Second)
+	}, 1.15)
+}
+
+func BenchmarkJobSessionizationDINCHash(b *testing.B) {
+	benchJob(b, onepass.DINCHash, func() onepass.Query {
+		return onepass.Sessionization(5*time.Minute, 512, 5*time.Second)
+	}, 1.15)
+}
+
+func BenchmarkJobClickCountSM(b *testing.B) {
+	benchJob(b, onepass.SortMerge, onepass.ClickCount, 0.05)
+}
+
+func BenchmarkJobClickCountINCHash(b *testing.B) {
+	benchJob(b, onepass.INCHash, onepass.ClickCount, 0.05)
+}
+
+// Extension benchmarks.
+
+func BenchmarkExtHOPSnapshots(b *testing.B)    { benchExperiment(b, "hopsnap") }
+func BenchmarkExtCoverageAnswers(b *testing.B) { benchExperiment(b, "coverage") }
+func BenchmarkExtWindowStreaming(b *testing.B) { benchExperiment(b, "windows") }
+
+func BenchmarkJobWindowCountDINC(b *testing.B) {
+	benchJob(b, onepass.DINCHash, func() onepass.Query {
+		return onepass.WindowCount(time.Hour, 5*time.Second)
+	}, 0.1)
+}
+
+// Ablation benchmarks: vary one engine design choice at a time and
+// report the resulting virtual running time (the design-choice
+// sensitivity studies DESIGN.md calls out).
+
+func benchAblation(b *testing.B, mutate func(*onepass.Cluster), scanEvery int64) {
+	b.Helper()
+	m := onepass.DefaultModel(1.0 / 4096)
+	cluster := onepass.PaperCluster(m)
+	cluster.MergeFactor = 16
+	mutate(&cluster)
+	const users = 20_000
+	input := onepass.SyntheticClickStream(onepass.ClickStreamSpec{
+		PhysBytes: m.ScaleBytes(16e9),
+		ChunkPhys: m.ScaleBytes(64e6),
+		Seed:      42,
+		Users:     users,
+		UserSkew:  1.2,
+		URLs:      10_000,
+		URLSkew:   1.3,
+		Duration:  24 * time.Hour,
+		Jitter:    2 * time.Second,
+	})
+	var virtual time.Duration
+	var spill int64
+	for i := 0; i < b.N; i++ {
+		rep, err := onepass.Run(onepass.Job{
+			Query:     onepass.Sessionization(5*time.Minute, 2048, 5*time.Second),
+			Input:     input,
+			Platform:  onepass.DINCHash,
+			Cluster:   cluster,
+			Hints:     onepass.Hints{Km: 1.15, DistinctKeys: users},
+			ScanEvery: scanEvery,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		virtual = rep.RunningTime
+		spill = rep.ReduceSpillBytes
+	}
+	b.ReportMetric(virtual.Seconds(), "virtual-s")
+	b.ReportMetric(float64(spill)/1e9, "spill-GB")
+}
+
+// Scavenging ablation: DINC-hash with and without the §6.2 proactive
+// eviction of expired sessions.
+func BenchmarkAblationDINCNoScavenge(b *testing.B) {
+	benchAblation(b, func(*onepass.Cluster) {}, 0)
+}
+
+func BenchmarkAblationDINCScavenge(b *testing.B) {
+	benchAblation(b, func(*onepass.Cluster) {}, 4096)
+}
+
+// Slot-cache ablation: shuffle served from mapper memory vs disk.
+func BenchmarkAblationTinySlotCache(b *testing.B) {
+	benchAblation(b, func(c *onepass.Cluster) { c.SlotCache = 1 }, 4096)
+}
+
+// Write-buffer page ablation: page size trades request count (seeks)
+// against memory reserved from the hash table.
+func BenchmarkAblationSmallPages(b *testing.B) {
+	benchAblation(b, func(c *onepass.Cluster) { c.Page /= 8 }, 4096)
+}
+
+func BenchmarkAblationLargePages(b *testing.B) {
+	benchAblation(b, func(c *onepass.Cluster) { c.Page *= 8 }, 4096)
+}

@@ -1,0 +1,63 @@
+// Command modelopt evaluates the paper's analytical model of Hadoop
+// (§3) standalone: Propositions 3.1 (I/O bytes) and 3.2 (I/O
+// requests), the time measurement T (Eq. 4), a (C, F) sweep like
+// Fig 4(a,b), and the optimizer's parameter recommendation.
+//
+// Usage:
+//
+//	modelopt [-d 97e9] [-km 1] [-kr 1] [-n 10] [-bm 140e6] [-br 260e6] [-r 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/model"
+)
+
+func main() {
+	var (
+		d  = flag.Float64("d", 97e9, "input data size D (bytes)")
+		km = flag.Float64("km", 1, "map output:input ratio Km")
+		kr = flag.Float64("kr", 1, "reduce output:input ratio Kr")
+		n  = flag.Int("n", 10, "nodes N")
+		bm = flag.Float64("bm", 140e6, "map buffer Bm (bytes)")
+		br = flag.Float64("br", 260e6, "reduce shuffle buffer Br (bytes)")
+		r  = flag.Int("r", 4, "reduce tasks per node R")
+	)
+	flag.Parse()
+
+	w := model.Workload{D: *d, Km: *km, Kr: *kr}
+	h := model.Hardware{N: *n, Bm: *bm, Br: *br}
+	consts := model.PaperConstants()
+
+	fmt.Printf("workload: D=%.0fGB Km=%.2f Kr=%.2f   hardware: N=%d Bm=%.0fMB Br=%.0fMB R=%d\n\n",
+		*d/1e9, *km, *kr, *n, *bm/1e6, *br/1e6, *r)
+
+	cs := []float64{8e6, 16e6, 32e6, 64e6, 96e6, 128e6, 192e6, 256e6, 384e6, 512e6}
+	fs := []int{4, 8, 16, 32}
+
+	fmt.Println("model time cost T (seconds/node) over chunk size C and merge factor F:")
+	fmt.Printf("%8s", "C\\F")
+	for _, f := range fs {
+		fmt.Printf("%10d", f)
+	}
+	fmt.Println()
+	for _, c := range cs {
+		fmt.Printf("%6.0fMB", c/1e6)
+		for _, f := range fs {
+			p := model.Params{R: *r, C: c, F: f}
+			fmt.Printf("%10.0f", model.TimeCost(w, h, p, consts))
+		}
+		fmt.Println()
+	}
+
+	best := model.Optimize(w, h, *r, cs, fs, consts)
+	fmt.Printf("\noptimizer picks: %s  (T=%.0fs/node)\n", best, model.TimeCost(w, h, best, consts))
+	fmt.Printf("  U = %.1fGB/node read+written (Prop 3.1)\n", model.IOBytes(w, h, best)/1e9)
+	fmt.Printf("  S = %.0f I/O requests/node (Prop 3.2)\n", model.IORequests(w, h, best))
+	fmt.Printf("  map tasks/node = %.0f\n", model.MapTasksPerNode(w, h, best))
+	fmt.Printf("\npaper's §3.2 rules of thumb:\n")
+	fmt.Printf("  chunk:      largest C with C·Km ≤ Bm  → %.0fMB\n", model.RecommendedChunk(w, h)/1e6)
+	fmt.Printf("  merge:      one-pass factor           → F=%d\n", model.OnePassFactor(w, h, *r))
+}

@@ -1,0 +1,242 @@
+// Command onepass runs a single MapReduce job on the simulated
+// cluster and prints its report: running time, I/O volumes per class,
+// per-phase CPU, and a compact progress plot.
+//
+// Usage:
+//
+//	onepass -query sessionization -platform dinc-hash -data 236e9 -scale 1/512
+//
+// Queries: sessionization, clickcount, frequsers, pagefreq, trigram.
+// Platforms: sm, hop, mr-hash, inc-hash, dinc-hash.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/asciiplot"
+)
+
+func main() {
+	var (
+		queryFlag = flag.String("query", "sessionization", "query: sessionization|clickcount|frequsers|pagefreq|trigram")
+		platFlag  = flag.String("platform", "inc-hash", "platform: sm|hop|mr-hash|inc-hash|dinc-hash")
+		dataFlag  = flag.Float64("data", 64e9, "logical input size in bytes")
+		scaleFlag = flag.String("scale", "1/512", "physical:logical scale, e.g. 1/512")
+		chunkFlag = flag.Float64("chunk", 64e6, "chunk size C in logical bytes")
+		stateFlag = flag.Int("state", 512, "sessionization state size in bytes")
+		usersFlag = flag.Int("users", 0, "distinct users (0 = sized to ~2.2x reduce memory)")
+		seedFlag  = flag.Int64("seed", 42, "workload seed")
+		fFlag     = flag.Int("f", 0, "merge factor F (0 = one-pass)")
+		rFlag     = flag.Int("r", 4, "reducers per node R")
+		traceFlag = flag.String("trace", "", "write a Chrome trace (chrome://tracing) of task spans to this file")
+	)
+	flag.Parse()
+
+	scale, err := parseScale(*scaleFlag)
+	if err != nil {
+		fatal(err)
+	}
+	m := onepass.DefaultModel(scale)
+	cluster := onepass.PaperCluster(m)
+	cluster.R = *rFlag
+	if *fFlag > 0 {
+		cluster.MergeFactor = *fFlag
+	} else {
+		cluster.MergeFactor = onepass.ModelOptimize(
+			onepass.ModelWorkload{D: *dataFlag, Km: 1, Kr: 1},
+			onepass.ModelHardware{N: cluster.Nodes, Bm: 140e6, Br: 500e6},
+			cluster.R,
+			[]float64{*chunkFlag},
+			[]int{4, 8, 16, 32, 64, 128},
+		).F
+	}
+
+	platform, err := parsePlatform(*platFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	users := *usersFlag
+	if users == 0 {
+		users = int(2.2 * float64(int64(cluster.R*cluster.Nodes)*cluster.ReduceBuffer) / float64(*stateFlag+50))
+	}
+
+	var query onepass.Query
+	var input onepass.Input
+	hints := onepass.Hints{Km: 1, DistinctKeys: int64(users)}
+	switch *queryFlag {
+	case "sessionization":
+		query = onepass.Sessionization(5*time.Minute, *stateFlag, 5*time.Second)
+		hints.Km = 1.15
+	case "clickcount":
+		query = onepass.ClickCount()
+		hints.Km = 0.01
+	case "frequsers":
+		query = onepass.FrequentUsers(50)
+		hints.Km = 0.01
+	case "pagefreq":
+		query = onepass.PageFrequency()
+		hints.Km = 0.01
+		hints.DistinctKeys = 20_000
+	case "trigram":
+		query = onepass.TrigramCount(1000)
+		hints.Km = 3
+		hints.DistinctKeys = 12_000_000
+		input = onepass.SyntheticDocCorpus(onepass.DocCorpusSpec{
+			PhysBytes: m.ScaleBytes(int64(*dataFlag)),
+			ChunkPhys: m.ScaleBytes(int64(*chunkFlag)),
+			Seed:      *seedFlag,
+			Vocab:     5_000,
+			WordSkew:  1.6,
+			WordV:     4,
+			DocWords:  12,
+		})
+	default:
+		fatal(fmt.Errorf("unknown query %q", *queryFlag))
+	}
+	if input == nil {
+		input = onepass.SyntheticClickStream(onepass.ClickStreamSpec{
+			PhysBytes: m.ScaleBytes(int64(*dataFlag)),
+			ChunkPhys: m.ScaleBytes(int64(*chunkFlag)),
+			Seed:      *seedFlag,
+			Users:     users,
+			UserSkew:  1.2,
+			URLs:      20_000,
+			URLSkew:   1.3,
+			Duration:  24 * time.Hour,
+			Jitter:    2 * time.Second,
+		})
+	}
+
+	rep, err := onepass.Run(onepass.Job{
+		Query:     query,
+		Input:     input,
+		Platform:  platform,
+		Cluster:   cluster,
+		Hints:     hints,
+		ScanEvery: 4096,
+		Seed:      *seedFlag,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	printReport(rep)
+	if *traceFlag != "" {
+		if err := writeChromeTrace(*traceFlag, rep); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\ntask trace written to %s (open in chrome://tracing)\n", *traceFlag)
+	}
+}
+
+// writeChromeTrace exports the per-task spans in Chrome's trace-event
+// JSON format: one "thread" per (node, kind) lane.
+func writeChromeTrace(path string, rep *onepass.Report) error {
+	type ev struct {
+		Name string `json:"name"`
+		Ph   string `json:"ph"`
+		Ts   int64  `json:"ts"`  // microseconds
+		Dur  int64  `json:"dur"` // microseconds
+		Pid  int    `json:"pid"`
+		Tid  int    `json:"tid"`
+	}
+	events := make([]ev, 0, len(rep.Spans))
+	for _, s := range rep.Spans {
+		tid := s.Node * 2
+		if s.Kind == "reduce" {
+			tid++
+		}
+		events = append(events, ev{
+			Name: s.Name, Ph: "X",
+			Ts:  s.Start.Microseconds(),
+			Dur: (s.End - s.Start).Microseconds(),
+			Pid: s.Node, Tid: tid,
+		})
+	}
+	data, err := json.Marshal(events)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func printReport(rep *onepass.Report) {
+	fmt.Printf("query            %s on %s\n", rep.Query, rep.Platform)
+	fmt.Printf("running time     %s (maps finished at %s)\n",
+		rep.RunningTime.Round(time.Second), rep.MapFinishTime.Round(time.Second))
+	fmt.Printf("cpu per node     map %s, reduce %s\n",
+		rep.MapCPUPerNode.Round(time.Second), rep.ReduceCPUPerNode.Round(time.Second))
+	fmt.Printf("input            %7.1f GB\n", float64(rep.InputBytes)/1e9)
+	fmt.Printf("map spill  (U2)  %7.1f GB\n", float64(rep.MapSpillBytes)/1e9)
+	fmt.Printf("shuffle    (U3)  %7.1f GB\n", float64(rep.MapOutputBytes)/1e9)
+	fmt.Printf("reduce spill(U4) %7.1f GB\n", float64(rep.ReduceSpillBytes)/1e9)
+	fmt.Printf("output     (U5)  %7.1f GB (%d records)\n", float64(rep.OutputBytes)/1e9, rep.OutputRecords)
+	fmt.Printf("shuffle fetches  %d from memory, %d from disk\n", rep.MemShuffleFetches, rep.DiskShuffleFetches)
+
+	fmt.Println("\nprogress (Definition 1):")
+	var b strings.Builder
+	mapC := asciiplot.Curve{Name: "map", Marker: '#'}
+	redC := asciiplot.Curve{Name: "reduce", Marker: 'o'}
+	for _, p := range rep.Progress {
+		mapC.T = append(mapC.T, p.T)
+		mapC.V = append(mapC.V, p.Map)
+		redC.T = append(redC.T, p.T)
+		redC.V = append(redC.V, p.Reduce)
+	}
+	asciiplot.Progress(&b, []asciiplot.Curve{mapC, redC}, rep.RunningTime, 20, 50)
+	// CPU utilization and iowait strips (the Fig 2 views).
+	var ts []time.Duration
+	var util, iow []float64
+	for _, s := range rep.Samples {
+		ts = append(ts, s.T)
+		util = append(util, s.CPUUtil)
+		iow = append(iow, s.IOWait)
+	}
+	asciiplot.Series(&b, "cpu util", ts, util, 50)
+	asciiplot.Series(&b, "iowait", ts, iow, 50)
+	fmt.Print(b.String())
+}
+
+func parsePlatform(s string) (onepass.Platform, error) {
+	switch strings.ToLower(s) {
+	case "sm", "sortmerge", "1-pass-sm":
+		return onepass.SortMerge, nil
+	case "hop":
+		return onepass.HOP, nil
+	case "mr-hash", "mrhash":
+		return onepass.MRHash, nil
+	case "inc-hash", "inchash":
+		return onepass.INCHash, nil
+	case "dinc-hash", "dinchash":
+		return onepass.DINCHash, nil
+	}
+	return 0, fmt.Errorf("unknown platform %q", s)
+}
+
+func parseScale(s string) (float64, error) {
+	if num, den, ok := strings.Cut(s, "/"); ok {
+		n, err1 := strconv.ParseFloat(strings.TrimSpace(num), 64)
+		d, err2 := strconv.ParseFloat(strings.TrimSpace(den), 64)
+		if err1 != nil || err2 != nil || d == 0 {
+			return 0, fmt.Errorf("bad scale %q", s)
+		}
+		return n / d, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad scale %q", s)
+	}
+	return v, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "onepass:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,59 @@
+// Trigram: web-document analysis over the synthetic GOV2-like corpus.
+// Counts word trigrams appearing at least 1000 times with a key-state
+// space ~50× larger than reduce memory, comparing INC-hash and
+// DINC-hash — the paper's Fig 7(f) experiment, where the flat trigram
+// distribution means dynamic frequent-key monitoring cannot beat plain
+// first-come incremental hashing.
+//
+//	go run ./examples/trigram
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	model := onepass.DefaultModel(1.0 / 256)
+	cluster := onepass.PaperCluster(model)
+	cluster.MergeFactor = 16
+
+	input := onepass.SyntheticDocCorpus(onepass.DocCorpusSpec{
+		PhysBytes: model.ScaleBytes(48e9),
+		ChunkPhys: model.ScaleBytes(64e6),
+		Seed:      11,
+		Vocab:     5_000,
+		WordSkew:  1.6,
+		WordV:     4,
+		DocWords:  12,
+	})
+
+	// Distinct trigrams ≈ instances/4 with this vocabulary: far more
+	// states than the reducers can hold.
+	instances := model.ScaleBytes(48e9) / (12*8 + 1) * 10
+	hints := onepass.Hints{Km: 3.0, DistinctKeys: int64(float64(instances) / 4)}
+
+	for _, platform := range []onepass.Platform{onepass.INCHash, onepass.DINCHash} {
+		rep, err := onepass.Run(onepass.Job{
+			Query:    onepass.TrigramCount(1000),
+			Input:    input,
+			Platform: platform,
+			Cluster:  cluster,
+			Hints:    hints,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		spilledFrac := 100 * float64(rep.ReduceSpillBytes) / float64(rep.MapOutputBytes)
+		fmt.Printf("%-10s time=%-8s shuffle=%5.1fGB spill=%5.1fGB (%2.0f%% of shuffle) trigrams≥1000: %d\n",
+			rep.Platform, rep.RunningTime.Round(time.Second),
+			float64(rep.MapOutputBytes)/1e9, float64(rep.ReduceSpillBytes)/1e9,
+			spilledFrac, rep.OutputRecords)
+	}
+	fmt.Println("\nTrigrams are distributed far more evenly than user ids, and the hot")
+	fmt.Println("head arrives early — so INC-hash already holds the frequent keys in")
+	fmt.Println("memory and DINC-hash's monitoring buys nothing extra (paper §6.2).")
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bytestore"
+	"repro/internal/hashfam"
+	"repro/internal/storage"
+)
+
+// bucketSet is the disk half of the hash reducers: n on-disk buckets,
+// each fronted by a write buffer of one page that is flushed when full
+// ("other buckets are streamed out to disks as their write buffers
+// fill up", §4.1). Keys are assigned to buckets by an independent hash
+// function of the family (h3, h4, …).
+type bucketSet struct {
+	rt     *Runtime
+	class  storage.IOClass
+	prefix string
+	h      hashfam.Func
+	page   int64
+	bufs   []*bytestore.KVBuffer
+	files  []*storage.File
+
+	spilledPairs int64
+	spilledBytes int64
+}
+
+// newBucketSet creates n buckets hashed by the level-th family
+// function, with one write-buffer page each.
+func newBucketSet(rt *Runtime, class storage.IOClass, prefix string, n int, page int64, level int) *bucketSet {
+	if n < 1 {
+		n = 1
+	}
+	b := &bucketSet{
+		rt:     rt,
+		class:  class,
+		prefix: prefix,
+		h:      rt.Fam.Fn(level),
+		page:   page,
+		bufs:   make([]*bytestore.KVBuffer, n),
+		files:  make([]*storage.File, n),
+	}
+	for i := range b.bufs {
+		b.bufs[i] = bytestore.NewKVBuffer(page)
+	}
+	return b
+}
+
+// n returns the bucket count.
+func (b *bucketSet) n() int { return len(b.bufs) }
+
+// memoryBytes returns the write-buffer memory footprint (h pages).
+func (b *bucketSet) memoryBytes() int64 { return int64(len(b.bufs)) * b.page }
+
+// bucketOf returns the bucket index for a key.
+func (b *bucketSet) bucketOf(key []byte) int { return b.h.Bucket(key, len(b.bufs)) }
+
+// add routes the pair to its bucket's write buffer, flushing to disk
+// when the page fills.
+func (b *bucketSet) add(key, val []byte) {
+	b.addTo(b.bucketOf(key), key, val)
+}
+
+// addTo places the pair in a specific bucket (used when the caller has
+// already computed the bucket, e.g. MR-hash's demoted bucket 0).
+func (b *bucketSet) addTo(i int, key, val []byte) {
+	b.spilledPairs++
+	if !b.bufs[i].Append(key, val) {
+		b.flush(i)
+		b.bufs[i].Append(key, val)
+	}
+}
+
+// flush writes bucket i's buffer to its file.
+func (b *bucketSet) flush(i int) {
+	buf := b.bufs[i]
+	if buf.Len() == 0 {
+		return
+	}
+	if b.files[i] == nil {
+		b.files[i] = b.rt.Store.Create(fmt.Sprintf("%s.bucket%d", b.prefix, i), b.class)
+	}
+	b.rt.Store.Append(b.rt.P, b.files[i], buf.Bytes(), b.class)
+	b.spilledBytes += buf.SizeBytes()
+	buf.Reset()
+}
+
+// flushAll drains every write buffer to disk.
+func (b *bucketSet) flushAll() {
+	for i := range b.bufs {
+		b.flush(i)
+	}
+}
+
+// readBucket reads bucket i back (charging I/O), deletes the file, and
+// returns the encoded pairs. Returns nil for an empty bucket. flushAll
+// must have been called first.
+func (b *bucketSet) readBucket(i int, segment int64) []byte {
+	f := b.files[i]
+	if f == nil {
+		return nil
+	}
+	data := append([]byte(nil), b.rt.Store.ReadAll(b.rt.P, f, segment, b.class)...)
+	b.rt.Store.Delete(f)
+	b.files[i] = nil
+	return data
+}
+
+// bucketCount sizes a bucket set so each bucket's data is expected to
+// fit in memory: at least expectedBytes/memBudget buckets with a 25%
+// safety factor, clamped to [1, maxBuckets].
+func bucketCount(expectedBytes, memBudget int64, maxBuckets int) int {
+	if memBudget <= 0 {
+		return maxBuckets
+	}
+	n := int((expectedBytes*5/4 + memBudget - 1) / memBudget)
+	if n < 1 {
+		n = 1
+	}
+	if n > maxBuckets {
+		n = maxBuckets
+	}
+	return n
+}

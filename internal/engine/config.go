@@ -1,0 +1,207 @@
+// Package engine runs MapReduce jobs on a simulated cluster: N nodes
+// with cores, map/reduce task slots, a disk (or disk+SSD) and a NIC
+// each, executing real data through the sort-merge baseline
+// (internal/sortmerge), the MapReduce Online-style pipelining variant,
+// or the paper's hash platforms (internal/core), while a metrics
+// sampler records progress, task timelines, and CPU/iowait series.
+//
+// Everything runs inside a deterministic discrete-event simulation
+// (internal/sim): map tasks are processes competing for map slots,
+// reducers shuffle from completed mappers (from the mapper's memory if
+// fetched promptly, from its disk otherwise — reproducing the §3.2
+// two-wave reducer effect), and every byte moved charges virtual time
+// under the calibrated cost model (internal/cost).
+package engine
+
+import (
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/dfs"
+	"repro/internal/mr"
+)
+
+// Platform selects the data path.
+type Platform int
+
+// Platforms. Stock versus optimized Hadoop is a parameter choice
+// (merge factor / chunk size), not a separate platform.
+const (
+	SortMerge Platform = iota // Hadoop's sort-merge (§2.2)
+	HOP                       // MapReduce Online-style pipelining (§2.2, §3.3)
+	MRHash                    // basic hash technique (§4.1)
+	INCHash                   // incremental hash (§4.2)
+	DINCHash                  // dynamic incremental hash (§4.3)
+)
+
+// String returns the platform name as used in the paper's tables.
+func (pl Platform) String() string {
+	switch pl {
+	case SortMerge:
+		return "1-pass-sm"
+	case HOP:
+		return "hop"
+	case MRHash:
+		return "mr-hash"
+	case INCHash:
+		return "inc-hash"
+	case DINCHash:
+		return "dinc-hash"
+	}
+	return "platform?"
+}
+
+// Incremental reports whether the platform applies init() map-side and
+// processes key states (INC-hash and DINC-hash).
+func (pl Platform) Incremental() bool { return pl == INCHash || pl == DINCHash }
+
+// ClusterConfig describes the simulated cluster and the Hadoop-level
+// parameters. All byte sizes are physical (already scaled); use
+// PaperCluster to get the paper's testbed at a chosen scale.
+type ClusterConfig struct {
+	Nodes       int // N
+	Cores       int // per node
+	MapSlots    int // per node
+	ReduceSlots int // per node
+	R           int // reduce tasks per node (reducers = R × Nodes)
+
+	MergeFactor  int   // F
+	MapBuffer    int64 // B_m per map task
+	ReduceBuffer int64 // B_r per reduce task
+	Page         int64 // bucket write-buffer page
+	ReadSegment  int64 // disk read request granularity
+
+	// SlotCache is how many completed map outputs stay in a node's
+	// memory for free shuffle fetches; older outputs are served from
+	// disk (the §3.2(3) second-wave effect).
+	SlotCache int
+
+	// SSDIntermediate routes intermediate data (spills, map output) to
+	// the SSD, as in the Fig 2(d) experiment.
+	SSDIntermediate bool
+
+	Replication int // DFS replication factor
+
+	Model            cost.Model
+	ProgressInterval time.Duration // metrics sampling period (virtual)
+}
+
+// PaperCluster returns the paper's evaluation cluster (§2.3): 10 nodes
+// with 4 cores, 4 map + 4 reduce slots, R=4, ~140MB map buffers and
+// ~500MB reduce buffers, scaled by the model's scale factor.
+func PaperCluster(m cost.Model) ClusterConfig {
+	return ClusterConfig{
+		Nodes:        10,
+		Cores:        4,
+		MapSlots:     4,
+		ReduceSlots:  4,
+		R:            4,
+		MergeFactor:  10, // Hadoop's io.sort.factor default
+		MapBuffer:    m.ScaleBytes(140e6),
+		ReduceBuffer: m.ScaleBytes(500e6),
+		Page:         m.ScaleBytes(1e6),
+		ReadSegment:  m.ScaleBytes(32e6),
+		// A mapper's recent outputs stay in its OS page cache; with
+		// 8GB nodes and 64MB outputs roughly 3GB (~48 outputs) is
+		// realistically warm. Reducers fetching promptly hit memory
+		// ("in most cases, this data transfer happens soon after a
+		// mapper completes", §2.2); stragglers and second-wave
+		// reducers hit disk.
+		SlotCache:        48,
+		Replication:      3,
+		Model:            m,
+		ProgressInterval: 20 * time.Second,
+	}
+}
+
+// JobSpec is a complete job submission.
+type JobSpec struct {
+	Query    mr.Query
+	Input    dfs.Input
+	Platform Platform
+	Cluster  ClusterConfig
+	Hints    mr.Hints
+
+	// CollectOutput retains all output records in the report (tests
+	// and small runs only).
+	CollectOutput bool
+
+	// CoverageThreshold is DINC-hash's φ for approximate early
+	// answers (0 disables).
+	CoverageThreshold float64
+
+	// ScanEvery triggers DINC-hash's scavenger pass every that many
+	// tuples per reducer (0 disables).
+	ScanEvery int64
+
+	// SnapshotEvery, on the HOP platform, makes reducers emit an
+	// approximate snapshot each time the map progress crosses a
+	// multiple of this fraction (e.g. 0.25 → snapshots at 25%, 50%,
+	// 75%), by repeating the merge over everything received so far —
+	// the MapReduce Online extension whose I/O overhead §3.3(4)
+	// criticizes. 0 disables snapshots.
+	SnapshotEvery float64
+
+	// Faults injects task failures to exercise the fault-tolerance
+	// path ("the sorted map output is written to disk for fault
+	// tolerance", §2.2): a failed map attempt burns its slot time and
+	// discards its output, and the task is re-executed. The job's
+	// answers must be unaffected.
+	Faults FaultPlan
+
+	Seed int64
+}
+
+// validate fills defaults and rejects nonsense.
+func (s *JobSpec) validate() error {
+	c := &s.Cluster
+	if s.Query == nil || s.Input == nil {
+		return errSpec("query and input are required")
+	}
+	if c.Nodes < 1 || c.Cores < 1 || c.MapSlots < 1 || c.ReduceSlots < 1 || c.R < 1 {
+		return errSpec("cluster shape must be positive")
+	}
+	if c.MergeFactor < 2 {
+		return errSpec("merge factor must be ≥ 2")
+	}
+	if c.MapBuffer <= 0 || c.ReduceBuffer <= 0 {
+		return errSpec("buffers must be positive")
+	}
+	if c.Page <= 0 {
+		c.Page = 1 << 12
+	}
+	if c.ReadSegment <= 0 {
+		c.ReadSegment = 1 << 18
+	}
+	if c.SlotCache <= 0 {
+		c.SlotCache = c.MapSlots
+	}
+	if c.Replication <= 0 {
+		c.Replication = 3
+	}
+	if c.ProgressInterval <= 0 {
+		c.ProgressInterval = 20 * time.Second
+	}
+	if s.Hints.Km <= 0 {
+		s.Hints.Km = 1
+	}
+	if s.Hints.DistinctKeys <= 0 {
+		s.Hints.DistinctKeys = 1 << 20
+	}
+	return nil
+}
+
+// FaultPlan describes injected failures.
+type FaultPlan struct {
+	// MapFailures maps a chunk index to the number of attempts that
+	// fail before one succeeds.
+	MapFailures map[int]int
+	// FailPoint is the fraction of the task's work completed before
+	// the failure hits (default 1.0: fails at the very end, the worst
+	// case — all work wasted).
+	FailPoint float64
+}
+
+type errSpec string
+
+func (e errSpec) Error() string { return "engine: invalid job spec: " + string(e) }

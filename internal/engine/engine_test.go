@@ -1,0 +1,808 @@
+package engine
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/metrics"
+	"repro/internal/mr"
+	"repro/internal/queries"
+	"repro/internal/reference"
+	"repro/internal/workload"
+)
+
+// testModel is a steeply scaled cost model for fast tests.
+func testModel() cost.Model { return cost.Default(1.0 / 4096) }
+
+// testCluster is a small 3-node cluster.
+func testCluster(m cost.Model) ClusterConfig {
+	c := PaperCluster(m)
+	c.Nodes = 3
+	c.Cores = 2
+	c.MapSlots = 2
+	c.ReduceSlots = 2
+	c.R = 2
+	c.ProgressInterval = 300 * time.Millisecond
+	return c
+}
+
+// testClicks builds a small deterministic click stream.
+func testClicks(t *testing.T, bytes, chunk int64) *workload.ClickStream {
+	t.Helper()
+	spec := workload.DefaultClickSpec(bytes, chunk, 77)
+	spec.Users = 400
+	spec.URLs = 100
+	spec.Duration = 2 * time.Hour
+	spec.Jitter = time.Second
+	return workload.NewClickStream(spec)
+}
+
+// runJob runs and returns the report, failing the test on error.
+func runJob(t *testing.T, spec JobSpec) *Report {
+	t.Helper()
+	spec.CollectOutput = true
+	rep, err := Run(spec)
+	if err != nil {
+		t.Fatalf("%s on %v: %v", spec.Query.Name(), spec.Platform, err)
+	}
+	return rep
+}
+
+// sortedOutputs canonicalizes collected outputs for comparison.
+func sortedOutputs(rep *Report, mapLine func([2]string) string) []string {
+	out := make([]string, 0, len(rep.Outputs))
+	for _, kv := range rep.Outputs {
+		out = append(out, mapLine(kv))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func kvLine(kv [2]string) string { return kv[0] + "\x00" + kv[1] }
+
+// clickLine drops the session id (session numbering may legitimately
+// differ between exact sorting and bounded-buffer streaming).
+func clickLine(kv [2]string) string {
+	_, rec, _ := strings.Cut(kv[1], "\t")
+	return kv[0] + "\x00" + rec
+}
+
+func equalStrings(t *testing.T, name string, a, b []string) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d vs %d outputs", name, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s: outputs differ at %d:\n%q\n%q", name, i, a[i], b[i])
+		}
+	}
+}
+
+func TestAllPlatformsAgreeOnClickCount(t *testing.T) {
+	m := testModel()
+	input := testClicks(t, 192<<10, 12<<10)
+	var ref []string
+	for _, pl := range []Platform{SortMerge, HOP, MRHash, INCHash, DINCHash} {
+		rep := runJob(t, JobSpec{
+			Query:    queries.NewClickCount(),
+			Input:    input,
+			Platform: pl,
+			Cluster:  testCluster(m),
+			Hints:    mr.Hints{Km: 0.1, DistinctKeys: 400},
+			Seed:     1,
+		})
+		got := sortedOutputs(rep, kvLine)
+		if ref == nil {
+			ref = got
+			if len(ref) == 0 {
+				t.Fatal("no output")
+			}
+			continue
+		}
+		equalStrings(t, pl.String(), ref, got)
+	}
+}
+
+func TestSessionizationPlatformsPreserveClicks(t *testing.T) {
+	m := testModel()
+	input := testClicks(t, 192<<10, 12<<10)
+	mkQuery := func() mr.Query {
+		return queries.NewSessionization(5*time.Minute, 512, 5*time.Second)
+	}
+	var ref []string
+	for _, pl := range []Platform{SortMerge, MRHash, INCHash, DINCHash} {
+		rep := runJob(t, JobSpec{
+			Query:    mkQuery(),
+			Input:    input,
+			Platform: pl,
+			Cluster:  testCluster(m),
+			Hints:    mr.Hints{Km: 1, DistinctKeys: 400},
+			Seed:     1,
+		})
+		got := sortedOutputs(rep, clickLine)
+		if ref == nil {
+			ref = got
+			if int64(len(ref)) != input.TotalRecords() {
+				t.Fatalf("sessionization must emit every click: %d vs %d", len(ref), input.TotalRecords())
+			}
+			continue
+		}
+		equalStrings(t, pl.String(), ref, got)
+	}
+}
+
+func TestFrequentUsersEarlyOutput(t *testing.T) {
+	m := testModel()
+	input := testClicks(t, 128<<10, 8<<10)
+	// Threshold low enough that many users qualify in the small
+	// stream (the paper's 50 applies to its full-size traces).
+	smRep := runJob(t, JobSpec{
+		Query:    queries.NewFrequentUsers(8),
+		Input:    input,
+		Platform: SortMerge,
+		Cluster:  testCluster(m),
+		Hints:    mr.Hints{Km: 0.1, DistinctKeys: 400},
+	})
+	incRep := runJob(t, JobSpec{
+		Query:    queries.NewFrequentUsers(8),
+		Input:    input,
+		Platform: INCHash,
+		Cluster:  testCluster(m),
+		Hints:    mr.Hints{Km: 0.1, DistinctKeys: 400},
+	})
+	// Same set of users (counts may be reported at different moments,
+	// ≥ threshold either way).
+	if smRep.OutputRecords == 0 {
+		t.Fatal("no frequent users found; lower the threshold")
+	}
+	users := func(rep *Report) []string {
+		var u []string
+		for _, kv := range rep.Outputs {
+			u = append(u, kv[0])
+		}
+		sort.Strings(u)
+		return u
+	}
+	equalStrings(t, "frequent users", users(smRep), users(incRep))
+
+	// Fig 7(c): INC's reduce progress must track map progress (early
+	// output), while SM cannot produce output before maps finish. We
+	// compare mid-map-phase samples (the final sample is trivially 1).
+	during := func(rep *Report) (mapP, reduceP float64) {
+		cut := rep.MapFinishTime * 4 / 5
+		for i := len(rep.Progress) - 1; i >= 0; i-- {
+			if rep.Progress[i].T <= cut {
+				return rep.Progress[i].Map, rep.Progress[i].Reduce
+			}
+		}
+		return 0, 0
+	}
+	smMap, smReduce := during(smRep)
+	incMap, incReduce := during(incRep)
+	if smMap == 0 || incMap == 0 {
+		t.Fatal("no mid-map samples; shrink the progress interval")
+	}
+	// SM's output component is necessarily 0 mid-map; INC emits early,
+	// so with comparable map progress INC must be strictly ahead.
+	if incReduce <= smReduce {
+		t.Fatalf("INC reduce progress %.3f (map %.3f) not ahead of SM %.3f (map %.3f)",
+			incReduce, incMap, smReduce, smMap)
+	}
+	outDuring := func(rep *Report) float64 {
+		cut := rep.MapFinishTime * 4 / 5
+		for i := len(rep.Progress) - 1; i >= 0; i-- {
+			if rep.Progress[i].T <= cut {
+				return rep.Progress[i].Out
+			}
+		}
+		return 0
+	}
+	if outDuring(smRep) != 0 {
+		t.Fatalf("SM produced output mid-map: %f", outDuring(smRep))
+	}
+	if outDuring(incRep) == 0 {
+		t.Fatal("INC produced no early output mid-map")
+	}
+}
+
+func TestSessionizationSpillShapes(t *testing.T) {
+	// Table 3 shape: INC-hash spills far less than 1-pass SM for
+	// sessionization; map CPU is lower for hash (no sorting).
+	m := testModel()
+	input := testClicks(t, 256<<10, 12<<10)
+	run := func(pl Platform) *Report {
+		c := testCluster(m)
+		// Shrink the reduce memory so the ~42KB per-reducer input
+		// exceeds it, as the 236GB workload exceeds 500MB buffers.
+		c.ReduceBuffer = 16 << 10
+		c.Page = 1 << 10
+		return runJob(t, JobSpec{
+			Query:    queries.NewSessionization(5*time.Minute, 512, 5*time.Second),
+			Input:    input,
+			Platform: pl,
+			Cluster:  c,
+			Hints:    mr.Hints{Km: 1, DistinctKeys: 400},
+		})
+	}
+	sm := run(SortMerge)
+	inc := run(INCHash)
+	dinc := run(DINCHash)
+	if sm.ReduceSpillBytes == 0 {
+		t.Fatal("SM sessionization should spill (reduce input exceeds buffer)")
+	}
+	if inc.ReduceSpillBytes >= sm.ReduceSpillBytes {
+		t.Fatalf("INC spill %d ≥ SM spill %d", inc.ReduceSpillBytes, sm.ReduceSpillBytes)
+	}
+	if dinc.ReduceSpillBytes > inc.ReduceSpillBytes {
+		t.Fatalf("DINC spill %d > INC spill %d", dinc.ReduceSpillBytes, inc.ReduceSpillBytes)
+	}
+	if inc.MapCPUPerNode >= sm.MapCPUPerNode {
+		t.Fatalf("hash map CPU %v ≥ SM map CPU %v (sorting not eliminated?)",
+			inc.MapCPUPerNode, sm.MapCPUPerNode)
+	}
+}
+
+func TestClickCountNoSpillWithCombiner(t *testing.T) {
+	// Table 3: click counting spills nothing on the hash platforms
+	// (states fit in memory) and its shuffle volume is tiny.
+	m := testModel()
+	input := testClicks(t, 192<<10, 12<<10)
+	rep := runJob(t, JobSpec{
+		Query:    queries.NewClickCount(),
+		Input:    input,
+		Platform: INCHash,
+		Cluster:  testCluster(m),
+		Hints:    mr.Hints{Km: 0.1, DistinctKeys: 400},
+	})
+	if rep.ReduceSpillBytes != 0 {
+		t.Fatalf("reduce spill %d, want 0", rep.ReduceSpillBytes)
+	}
+	if rep.MapOutputBytes >= rep.InputBytes/3 {
+		t.Fatalf("map-side combine ineffective: shuffle %d vs input %d",
+			rep.MapOutputBytes, rep.InputBytes)
+	}
+}
+
+func TestReportSanity(t *testing.T) {
+	m := testModel()
+	input := testClicks(t, 96<<10, 12<<10)
+	rep := runJob(t, JobSpec{
+		Query:    queries.NewClickCount(),
+		Input:    input,
+		Platform: SortMerge,
+		Cluster:  testCluster(m),
+	})
+	if rep.RunningTime <= 0 || rep.MapFinishTime <= 0 || rep.MapFinishTime > rep.RunningTime {
+		t.Fatalf("times: run=%v mapFinish=%v", rep.RunningTime, rep.MapFinishTime)
+	}
+	if rep.InputBytes <= 0 || rep.MapOutputBytes <= 0 || rep.OutputBytes <= 0 {
+		t.Fatalf("volumes: %+v", rep)
+	}
+	if len(rep.Progress) < 3 {
+		t.Fatalf("progress samples: %d", len(rep.Progress))
+	}
+	last := rep.Progress[len(rep.Progress)-1]
+	if last.Map != 1 || last.Reduce != 1 {
+		t.Fatalf("final progress %+v", last)
+	}
+	// Progress is monotone.
+	for i := 1; i < len(rep.Progress); i++ {
+		if rep.Progress[i].Map < rep.Progress[i-1].Map || rep.Progress[i].Reduce < rep.Progress[i-1].Reduce-1e-9 {
+			t.Fatalf("progress not monotone at %d", i)
+		}
+	}
+	// Timeline gauges were live at some point.
+	sawMap := false
+	for _, s := range rep.Samples {
+		if s.Tasks[metrics.PhaseMap] > 0 {
+			sawMap = true
+		}
+	}
+	if !sawMap {
+		t.Fatal("no map tasks observed in timeline")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	m := testModel()
+	input := testClicks(t, 96<<10, 12<<10)
+	spec := JobSpec{
+		Query:    queries.NewClickCount(),
+		Input:    input,
+		Platform: INCHash,
+		Cluster:  testCluster(m),
+		Seed:     3,
+	}
+	a := runJob(t, spec)
+	spec.Query = queries.NewClickCount() // fresh query state
+	b := runJob(t, spec)
+	if a.RunningTime != b.RunningTime || a.ReduceSpillBytes != b.ReduceSpillBytes ||
+		a.OutputRecords != b.OutputRecords {
+		t.Fatalf("non-deterministic: %v/%v %d/%d %d/%d",
+			a.RunningTime, b.RunningTime, a.ReduceSpillBytes, b.ReduceSpillBytes,
+			a.OutputRecords, b.OutputRecords)
+	}
+}
+
+func TestReducerWavesSlowdown(t *testing.T) {
+	// §3.2(3): R=2 with 2 slots beats R=4 with 2 slots (second-wave
+	// reducers fetch from disk).
+	m := testModel()
+	// Many chunks relative to the slot cache, so second-wave fetches
+	// really hit disk.
+	input := testClicks(t, 256<<10, 4<<10)
+	run := func(r int) time.Duration {
+		c := testCluster(m)
+		c.R = r
+		c.SlotCache = 2
+		rep := runJob(t, JobSpec{
+			Query:    queries.NewSessionization(5*time.Minute, 512, 5*time.Second),
+			Input:    input,
+			Platform: SortMerge,
+			Cluster:  c,
+			Hints:    mr.Hints{Km: 1, DistinctKeys: 400},
+		})
+		return rep.RunningTime
+	}
+	oneWave := run(2)
+	twoWaves := run(4)
+	if twoWaves <= oneWave {
+		t.Fatalf("two waves (%v) not slower than one (%v)", twoWaves, oneWave)
+	}
+}
+
+func TestHOPRunsAndAgrees(t *testing.T) {
+	m := testModel()
+	input := testClicks(t, 96<<10, 12<<10)
+	sm := runJob(t, JobSpec{
+		Query:    queries.NewSessionization(5*time.Minute, 512, 5*time.Second),
+		Input:    input,
+		Platform: SortMerge,
+		Cluster:  testCluster(m),
+		Hints:    mr.Hints{Km: 1, DistinctKeys: 400},
+	})
+	hop := runJob(t, JobSpec{
+		Query:    queries.NewSessionization(5*time.Minute, 512, 5*time.Second),
+		Input:    input,
+		Platform: HOP,
+		Cluster:  testCluster(m),
+		Hints:    mr.Hints{Km: 1, DistinctKeys: 400},
+	})
+	equalStrings(t, "hop", sortedOutputs(sm, clickLine), sortedOutputs(hop, clickLine))
+	// HOP must not blow up the runtime (it redistributes work).
+	if hop.RunningTime > sm.RunningTime*3/2 {
+		t.Fatalf("HOP %v vs SM %v", hop.RunningTime, sm.RunningTime)
+	}
+}
+
+func TestInvalidSpecRejected(t *testing.T) {
+	if _, err := Run(JobSpec{}); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+	m := testModel()
+	spec := JobSpec{
+		Query:    queries.NewClickCount(),
+		Input:    testClicks(t, 8<<10, 4<<10),
+		Platform: SortMerge,
+		Cluster:  testCluster(m),
+	}
+	spec.Cluster.MergeFactor = 1
+	if _, err := Run(spec); err == nil {
+		t.Fatal("bad merge factor accepted")
+	}
+}
+
+func TestHOPSnapshotsCostTime(t *testing.T) {
+	// §3.3(4): periodic snapshots repeat the merge, inflating I/O and
+	// running time, while producing approximate records along the way.
+	m := testModel()
+	input := testClicks(t, 192<<10, 8<<10)
+	run := func(every float64) *Report {
+		c := testCluster(m)
+		c.ReduceBuffer = 8 << 10 // force on-disk runs so snapshots re-read them
+		return runJob(t, JobSpec{
+			Query:         queries.NewSessionization(5*time.Minute, 512, 5*time.Second),
+			Input:         input,
+			Platform:      HOP,
+			Cluster:       c,
+			Hints:         mr.Hints{Km: 1, DistinctKeys: 400},
+			SnapshotEvery: every,
+		})
+	}
+	plain := run(0)
+	snaps := run(0.25)
+	if plain.SnapshotRecords != 0 {
+		t.Fatalf("snapshots emitted when disabled: %d", plain.SnapshotRecords)
+	}
+	if snaps.SnapshotRecords == 0 {
+		t.Fatal("no snapshot records produced")
+	}
+	if snaps.RunningTime < plain.RunningTime {
+		t.Fatalf("snapshots sped the job up?! %v vs %v", snaps.RunningTime, plain.RunningTime)
+	}
+	// The robust §3.3(4) claim is the repeated-merge I/O overhead
+	// (whether it extends the makespan depends on slack elsewhere).
+	if snaps.TotalIOBytes <= plain.TotalIOBytes {
+		t.Fatalf("snapshots incurred no extra I/O: %d vs %d", snaps.TotalIOBytes, plain.TotalIOBytes)
+	}
+	// Final answers unchanged.
+	equalStrings(t, "hop-snapshots", sortedOutputs(plain, clickLine), sortedOutputs(snaps, clickLine))
+}
+
+func TestWindowCountStreamsResults(t *testing.T) {
+	// The stream-processing extension: windowed counts emitted as the
+	// watermark passes each window on the incremental platforms, with
+	// identical final answers on the sort-merge baseline.
+	m := testModel()
+	input := testClicks(t, 128<<10, 8<<10)
+	run := func(pl Platform) *Report {
+		return runJob(t, JobSpec{
+			Query:     queries.NewWindowCount(10*time.Minute, 5*time.Second),
+			Input:     input,
+			Platform:  pl,
+			Cluster:   testCluster(m),
+			Hints:     mr.Hints{Km: 0.2, DistinctKeys: 2000},
+			ScanEvery: 2048,
+		})
+	}
+	sm := run(SortMerge)
+	inc := run(INCHash)
+	dinc := run(DINCHash)
+	// Late shuffle delivery can split a window into an initial record
+	// plus supplements on the incremental platforms; the per-key sums
+	// are exact.
+	sums := func(rep *Report) map[string]int {
+		m := map[string]int{}
+		for _, kv := range rep.Outputs {
+			n, err := strconv.Atoi(kv[1])
+			if err != nil {
+				t.Fatalf("bad count %q", kv[1])
+			}
+			m[kv[0]] += n
+		}
+		return m
+	}
+	want := sums(sm)
+	for name, rep := range map[string]*Report{"inc": inc, "dinc": dinc} {
+		got := sums(rep)
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d keys vs %d", name, len(got), len(want))
+		}
+		for k, v := range want {
+			if got[k] != v {
+				t.Fatalf("%s: key %s sum %d want %d", name, k, got[k], v)
+			}
+		}
+	}
+	// INC must have emitted some window results before maps finished.
+	early := 0.0
+	for _, p := range inc.Progress {
+		if p.T <= inc.MapFinishTime*4/5 {
+			early = p.Out
+		}
+	}
+	if early == 0 {
+		t.Fatal("no windows emitted during the map phase")
+	}
+}
+
+func TestSSDIntermediatesFaster(t *testing.T) {
+	m := testModel()
+	input := testClicks(t, 192<<10, 12<<10)
+	run := func(ssd bool) *Report {
+		c := testCluster(m)
+		c.ReduceBuffer = 8 << 10 // substantial intermediate traffic
+		c.SSDIntermediate = ssd
+		return runJob(t, JobSpec{
+			Query:    queries.NewSessionization(5*time.Minute, 512, 5*time.Second),
+			Input:    input,
+			Platform: SortMerge,
+			Cluster:  c,
+			Hints:    mr.Hints{Km: 1, DistinctKeys: 400},
+		})
+	}
+	hdd := run(false)
+	ssd := run(true)
+	if ssd.RunningTime >= hdd.RunningTime {
+		t.Fatalf("SSD intermediates not faster: %v vs %v", ssd.RunningTime, hdd.RunningTime)
+	}
+	equalStrings(t, "ssd", sortedOutputs(hdd, clickLine), sortedOutputs(ssd, clickLine))
+}
+
+func TestDINCCoverageThresholdInEngine(t *testing.T) {
+	// With φ set, some keys are answered approximately from memory.
+	m := testModel()
+	input := testClicks(t, 128<<10, 8<<10)
+	rep := runJob(t, JobSpec{
+		Query:             queries.NewClickCount(),
+		Input:             input,
+		Platform:          DINCHash,
+		Cluster:           testCluster(m),
+		Hints:             mr.Hints{Km: 0.1, DistinctKeys: 400},
+		CoverageThreshold: 0.3,
+	})
+	if rep.ApproxKeys == 0 {
+		t.Fatal("no approximate answers despite coverage threshold")
+	}
+}
+
+func TestPageFrequencyEndToEnd(t *testing.T) {
+	m := testModel()
+	input := testClicks(t, 96<<10, 12<<10)
+	sm := runJob(t, JobSpec{
+		Query:    queries.NewPageFrequency(),
+		Input:    input,
+		Platform: SortMerge,
+		Cluster:  testCluster(m),
+		Hints:    mr.Hints{Km: 0.1, DistinctKeys: 100},
+	})
+	inc := runJob(t, JobSpec{
+		Query:    queries.NewPageFrequency(),
+		Input:    input,
+		Platform: INCHash,
+		Cluster:  testCluster(m),
+		Hints:    mr.Hints{Km: 0.1, DistinctKeys: 100},
+	})
+	equalStrings(t, "pagefreq", sortedOutputs(sm, kvLine), sortedOutputs(inc, kvLine))
+	// Nearly all of the 100 URLs appear in even this small sample.
+	if len(sm.Outputs) < 95 {
+		t.Fatalf("url count %d", len(sm.Outputs))
+	}
+}
+
+func TestTaskSpansWellFormed(t *testing.T) {
+	m := testModel()
+	input := testClicks(t, 96<<10, 12<<10)
+	rep := runJob(t, JobSpec{
+		Query:    queries.NewClickCount(),
+		Input:    input,
+		Platform: INCHash,
+		Cluster:  testCluster(m),
+	})
+	maps, reduces := 0, 0
+	for _, s := range rep.Spans {
+		if s.Start < 0 || s.End < s.Start || s.End > rep.RunningTime {
+			t.Fatalf("span %s out of range: %v..%v (job %v)", s.Name, s.Start, s.End, rep.RunningTime)
+		}
+		switch s.Kind {
+		case "map":
+			maps++
+		case "reduce":
+			reduces++
+		default:
+			t.Fatalf("unknown span kind %q", s.Kind)
+		}
+	}
+	if maps != input.NumChunks() {
+		t.Fatalf("map spans %d, want %d", maps, input.NumChunks())
+	}
+	if reduces != testCluster(m).R*testCluster(m).Nodes {
+		t.Fatalf("reduce spans %d", reduces)
+	}
+}
+
+func TestMapFaultToleranceReexecution(t *testing.T) {
+	// Failed map attempts burn slot time and are re-executed; the
+	// answers are unaffected and the job takes longer.
+	m := testModel()
+	input := testClicks(t, 128<<10, 8<<10)
+	run := func(faults map[int]int) *Report {
+		return runJob(t, JobSpec{
+			Query:    queries.NewClickCount(),
+			Input:    input,
+			Platform: SortMerge,
+			Cluster:  testCluster(m),
+			Hints:    mr.Hints{Km: 0.1, DistinctKeys: 400},
+			Faults:   FaultPlan{MapFailures: faults},
+		})
+	}
+	clean := run(nil)
+	faulty := run(map[int]int{0: 2, 3: 1, 7: 1})
+	equalStrings(t, "fault-tolerance", sortedOutputs(clean, kvLine), sortedOutputs(faulty, kvLine))
+	if faulty.RunningTime <= clean.RunningTime {
+		t.Fatalf("re-execution was free: %v vs %v", faulty.RunningTime, clean.RunningTime)
+	}
+	// Failed attempts appear in the trace.
+	failed := 0
+	for _, s := range faulty.Spans {
+		if s.Kind == "map-failed" {
+			failed++
+		}
+	}
+	if failed != 4 {
+		t.Fatalf("failed-attempt spans %d, want 4", failed)
+	}
+	// The extra input re-reads are visible in the I/O accounting.
+	if faulty.InputBytes <= clean.InputBytes {
+		t.Fatalf("no re-read accounted: %d vs %d", faulty.InputBytes, clean.InputBytes)
+	}
+}
+
+func TestMapFaultsOnIncrementalPlatform(t *testing.T) {
+	m := testModel()
+	input := testClicks(t, 96<<10, 8<<10)
+	clean := runJob(t, JobSpec{
+		Query:    queries.NewSessionization(5*time.Minute, 512, 5*time.Second),
+		Input:    input,
+		Platform: INCHash,
+		Cluster:  testCluster(m),
+		Hints:    mr.Hints{Km: 1, DistinctKeys: 400},
+	})
+	faulty := runJob(t, JobSpec{
+		Query:    queries.NewSessionization(5*time.Minute, 512, 5*time.Second),
+		Input:    input,
+		Platform: INCHash,
+		Cluster:  testCluster(m),
+		Hints:    mr.Hints{Km: 1, DistinctKeys: 400},
+		Faults:   FaultPlan{MapFailures: map[int]int{1: 1, 4: 1}, FailPoint: 0.5},
+	})
+	equalStrings(t, "inc-faults", sortedOutputs(clean, clickLine), sortedOutputs(faulty, clickLine))
+}
+
+func TestHOPPushesAtSpillGranularity(t *testing.T) {
+	// With a map buffer smaller than a chunk's output, HOP publishes
+	// several spill units per mapper — the pipelining granularity of
+	// §2.2 — and the answers still match sort-merge.
+	m := testModel()
+	input := testClicks(t, 96<<10, 12<<10)
+	c := testCluster(m)
+	c.MapBuffer = 2 << 10 // chunk output ≈ 12KB ⇒ ~6 pushes per chunk
+	hop := runJob(t, JobSpec{
+		Query:    queries.NewSessionization(5*time.Minute, 512, 5*time.Second),
+		Input:    input,
+		Platform: HOP,
+		Cluster:  c,
+		Hints:    mr.Hints{Km: 1, DistinctKeys: 400},
+	})
+	sm := runJob(t, JobSpec{
+		Query:    queries.NewSessionization(5*time.Minute, 512, 5*time.Second),
+		Input:    input,
+		Platform: SortMerge,
+		Cluster:  testCluster(m),
+		Hints:    mr.Hints{Km: 1, DistinctKeys: 400},
+	})
+	equalStrings(t, "hop-granular", sortedOutputs(sm, clickLine), sortedOutputs(hop, clickLine))
+	// More shuffle units than chunks proves sub-chunk pipelining.
+	if hop.MemShuffleFetches+hop.DiskShuffleFetches <= sm.MemShuffleFetches+sm.DiskShuffleFetches {
+		t.Fatalf("HOP fetch units %d not finer than SM %d",
+			hop.MemShuffleFetches+hop.DiskShuffleFetches,
+			sm.MemShuffleFetches+sm.DiskShuffleFetches)
+	}
+}
+
+func TestTrigramEndToEnd(t *testing.T) {
+	m := testModel()
+	spec := workload.DefaultDocSpec(96<<10, 12<<10, 5)
+	spec.Vocab = 200
+	spec.WordSkew = 1.5
+	spec.WordV = 2
+	input := workload.NewDocCorpus(spec)
+	run := func(pl Platform) *Report {
+		return runJob(t, JobSpec{
+			Query:    queries.NewTrigramCount(5),
+			Input:    input,
+			Platform: pl,
+			Cluster:  testCluster(m),
+			Hints:    mr.Hints{Km: 3, DistinctKeys: 20000},
+		})
+	}
+	sm := run(SortMerge)
+	inc := run(INCHash)
+	if sm.OutputRecords == 0 {
+		t.Fatal("no trigrams above threshold; strengthen the skew")
+	}
+	users := func(rep *Report) []string {
+		var u []string
+		for _, kv := range rep.Outputs {
+			u = append(u, kv[0])
+		}
+		sort.Strings(u)
+		return u
+	}
+	equalStrings(t, "trigram keys", users(sm), users(inc))
+}
+
+func TestMergeFactorControlsSpillVolume(t *testing.T) {
+	// §3.2(2) at the engine level: with a small merge factor the
+	// multi-pass merge rewrites spilled data repeatedly; the one-pass
+	// factor brings the reduce spill down near the shuffled volume.
+	m := testModel()
+	input := testClicks(t, 256<<10, 8<<10)
+	run := func(f int) *Report {
+		c := testCluster(m)
+		c.MergeFactor = f
+		c.ReduceBuffer = 2 << 10 // many initial runs per reducer
+		return runJob(t, JobSpec{
+			Query:    queries.NewSessionization(5*time.Minute, 512, 5*time.Second),
+			Input:    input,
+			Platform: SortMerge,
+			Cluster:  c,
+			Hints:    mr.Hints{Km: 1, DistinctKeys: 400},
+		})
+	}
+	small := run(2)
+	onePass := run(64)
+	if small.ReduceSpillBytes <= onePass.ReduceSpillBytes {
+		t.Fatalf("F=2 spill %d not above one-pass %d", small.ReduceSpillBytes, onePass.ReduceSpillBytes)
+	}
+	if small.RunningTime <= onePass.RunningTime {
+		t.Fatalf("F=2 (%v) not slower than one-pass (%v)", small.RunningTime, onePass.RunningTime)
+	}
+	equalStrings(t, "merge-factor", sortedOutputs(small, clickLine), sortedOutputs(onePass, clickLine))
+}
+
+func TestChunkSizeStartupTradeoff(t *testing.T) {
+	// Fig 4(b)'s left edge: tiny chunks multiply per-task overhead.
+	m := testModel()
+	run := func(chunk int64) time.Duration {
+		input := testClicks(t, 192<<10, chunk)
+		rep := runJob(t, JobSpec{
+			Query:    queries.NewClickCount(),
+			Input:    input,
+			Platform: SortMerge,
+			Cluster:  testCluster(m),
+			Hints:    mr.Hints{Km: 0.1, DistinctKeys: 400},
+		})
+		return rep.RunningTime
+	}
+	tiny := run(2 << 10)
+	good := run(16 << 10)
+	if tiny <= good {
+		t.Fatalf("tiny chunks (%v) not slower than large (%v)", tiny, good)
+	}
+}
+
+func TestPlatformsMatchReferenceOracle(t *testing.T) {
+	// Differential test: every platform must reproduce the naive
+	// in-memory evaluator's answers for the aggregating queries.
+	m := testModel()
+	input := testClicks(t, 128<<10, 8<<10)
+	for _, tc := range []struct {
+		name string
+		mk   func() mr.Query
+		km   float64
+		// keysOnly: early-output queries report the count at the
+		// moment the threshold is crossed, so only the key set is
+		// platform-invariant.
+		keysOnly bool
+	}{
+		{"clickcount", queries.NewClickCount, 0.1, false},
+		{"pagefreq", queries.NewPageFrequency, 0.1, false},
+		{"frequsers", func() mr.Query { return queries.NewFrequentUsers(8) }, 0.1, true},
+	} {
+		want := reference.Run(tc.mk(), input)
+		wantKeys := reference.Keys(want)
+		for _, pl := range []Platform{SortMerge, MRHash, INCHash, DINCHash} {
+			rep := runJob(t, JobSpec{
+				Query:    tc.mk(),
+				Input:    input,
+				Platform: pl,
+				Cluster:  testCluster(m),
+				Hints:    mr.Hints{Km: tc.km, DistinctKeys: 500},
+			})
+			if tc.keysOnly {
+				var gotKeys []string
+				for _, kv := range rep.Outputs {
+					gotKeys = append(gotKeys, kv[0])
+				}
+				sort.Strings(gotKeys)
+				equalStrings(t, tc.name+"/"+pl.String(), wantKeys, gotKeys)
+				continue
+			}
+			got := sortedOutputs(rep, kvLine)
+			if len(got) != len(want) {
+				t.Fatalf("%s/%v: %d outputs vs oracle %d", tc.name, pl, len(got), len(want))
+			}
+			for i, o := range want {
+				if got[i] != o.Key+"\x00"+o.Value {
+					t.Fatalf("%s/%v: output %d = %q, oracle %q=%q", tc.name, pl, i, got[i], o.Key, o.Value)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dfs"
+	"repro/internal/hashfam"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// job is one running MapReduce job: the simulation state, gauges, and
+// counters, and the metrics.Probe the sampler reads.
+type job struct {
+	spec JobSpec
+	k    *sim.Kernel
+	fam  *hashfam.Family
+
+	nodes       []*node
+	shuffle     *shuffleService
+	gauges      metrics.Gauges
+	numReducers int
+	totalMaps   int
+
+	inputBytesEst int64
+
+	mapsDone         int
+	fetchesDone      int64
+	memFetches       int64
+	diskFetches      int64
+	fnRecords        int64
+	outRecords       int64
+	outBytes         int64
+	mapInputRecords  int64
+	mapOutputRecords int64
+	mapCPU           int64 // virtual ns across all map tasks
+	reduceCPU        int64
+	mapFinish        int64
+	approxKeys       int64
+	snapshotRecords  int64
+
+	outputs [][2]string
+	spans   []Span
+}
+
+// Span is one task's lifetime on the cluster (the §5 "profiler"
+// utilities): exported in the report and convertible to a Chrome
+// trace via cmd/onepass -trace.
+type Span struct {
+	Name  string        // task name, e.g. "map001234" or "reduce007"
+	Kind  string        // "map" | "reduce"
+	Node  int           // node index
+	Start time.Duration // virtual time
+	End   time.Duration
+}
+
+// addSpan records a completed task span.
+func (j *job) addSpan(name, kind string, node int, start, end int64) {
+	j.spans = append(j.spans, Span{
+		Name: name, Kind: kind, Node: node,
+		Start: time.Duration(start), End: time.Duration(end),
+	})
+}
+
+// Run executes the job to completion and returns the report.
+func Run(spec JobSpec) (*Report, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	cfg := &spec.Cluster
+	j := &job{
+		spec:        spec,
+		k:           sim.NewKernel(),
+		fam:         hashfam.NewFamily(spec.Seed ^ 0x0fa57),
+		numReducers: cfg.R * cfg.Nodes,
+		totalMaps:   spec.Input.NumChunks(),
+	}
+	if j.totalMaps == 0 {
+		return nil, errSpec("input has no chunks")
+	}
+	j.inputBytesEst = int64(len(spec.Input.ChunkBytes(0))) * int64(j.totalMaps)
+	for i := 0; i < cfg.Nodes; i++ {
+		j.nodes = append(j.nodes, newNode(j.k, i, *cfg))
+	}
+	j.shuffle = newShuffleService(j.k, j.totalMaps, j.numReducers)
+
+	sampler := metrics.NewSampler(j, cfg.ProgressInterval)
+	sampler.Start(j.k)
+
+	// Map tasks: one process per chunk on its primary-replica node
+	// (perfectly local with round-robin placement, as the model
+	// assumes).
+	placement := dfs.NewPlacement(cfg.Nodes, cfg.Replication)
+	assign := dfs.NewAssignment(spec.Input, placement)
+	for c := 0; c < j.totalMaps; c++ {
+		chunk := c
+		n := j.nodes[assign.Node(chunk)]
+		j.k.Spawn(fmt.Sprintf("map%06d", chunk), func(p *sim.Proc) {
+			j.runMapTask(p, chunk, n)
+		})
+	}
+	// Reduce tasks: reducer i handles partition i on node i%N; slots
+	// make the waves when R exceeds ReduceSlots.
+	reducersLeft := j.numReducers
+	for r := 0; r < j.numReducers; r++ {
+		ridx := r
+		n := j.nodes[ridx%cfg.Nodes]
+		j.k.Spawn(fmt.Sprintf("reduce%03d", ridx), func(p *sim.Proc) {
+			j.runReduceTask(p, ridx, n)
+			reducersLeft--
+			if reducersLeft == 0 {
+				for _, nd := range j.nodes {
+					nd.closeOutput()
+				}
+			}
+		})
+	}
+
+	if err := j.k.Run(); err != nil {
+		return nil, fmt.Errorf("engine: %s on %s: %w", spec.Query.Name(), spec.Platform, err)
+	}
+	sampler.Finish(j.k.Now())
+	return j.report(sampler), nil
+}
+
+// newRuntime builds the task runtime charging CPU on node n into the
+// given ledger.
+func (j *job) newRuntime(p *sim.Proc, n *node, ledger *int64) *core.Runtime {
+	return &core.Runtime{
+		P:     p,
+		Store: n.store,
+		Model: j.spec.Cluster.Model,
+		Fam:   j.fam,
+		ChargeCPU: func(d time.Duration) {
+			n.chargeCPU(p, d, ledger)
+		},
+		FnRecords: func(k int64) { j.fnRecords += k },
+	}
+}
+
+// Probe implementation (metrics sampling).
+
+// CPUBusyIntegral implements metrics.Probe.
+func (j *job) CPUBusyIntegral() int64 {
+	var t int64
+	for _, n := range j.nodes {
+		t += n.cpu.BusyIntegral()
+	}
+	return t
+}
+
+// CPUCapacity implements metrics.Probe.
+func (j *job) CPUCapacity() int64 {
+	return int64(j.spec.Cluster.Cores * j.spec.Cluster.Nodes)
+}
+
+// DiskBusyIntegral implements metrics.Probe.
+func (j *job) DiskBusyIntegral() int64 {
+	var t int64
+	for _, n := range j.nodes {
+		t += n.store.Arm(0).BusyIntegral() + n.store.Arm(1).BusyIntegral()
+	}
+	return t
+}
+
+// DiskCount implements metrics.Probe: one active arm per node, two
+// when the SSD carries intermediates.
+func (j *job) DiskCount() int64 {
+	arms := int64(1)
+	if j.spec.Cluster.SSDIntermediate {
+		arms = 2
+	}
+	return arms * int64(j.spec.Cluster.Nodes)
+}
+
+// DiskReadBytes implements metrics.Probe.
+func (j *job) DiskReadBytes() int64 {
+	var t int64
+	for _, n := range j.nodes {
+		c := n.store.Counters()
+		for i := 0; i < int(storage.NumIOClasses); i++ {
+			t += c.ReadBytes[i]
+		}
+	}
+	return t
+}
+
+// TaskGauge implements metrics.Probe.
+func (j *job) TaskGauge(ph metrics.Phase) int { return j.gauges.Get(ph) }
+
+// Counts implements metrics.Probe.
+func (j *job) Counts() (int, int64, int64, int64) {
+	return j.mapsDone, j.fetchesDone, j.fnRecords, j.outRecords
+}

@@ -1,0 +1,284 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/kvenc"
+	"repro/internal/metrics"
+	"repro/internal/mr"
+	"repro/internal/sim"
+	"repro/internal/sortmerge"
+	"repro/internal/storage"
+)
+
+// collector abstracts the two map-output components (sort-merge's Map
+// Output Buffer and the Hash-based Map Output).
+type collector interface {
+	Add(key, val []byte)
+	Finish() (parts [][][]byte, mapped, emitted int64)
+}
+
+// runMapTask executes one map task: acquire a slot, pay startup, read
+// the chunk in segments (charging input I/O and CPU), feed records
+// through the map function into the platform's collector, write the
+// map output for fault tolerance, and publish it for shuffling.
+// Injected failures re-execute the whole attempt, as the JobTracker
+// would after a lost task.
+func (j *job) runMapTask(p *sim.Proc, chunk int, n *node) {
+	failures := j.spec.Faults.MapFailures[chunk]
+	for attempt := 0; ; attempt++ {
+		if j.runMapAttempt(p, chunk, n, attempt, attempt < failures) {
+			return
+		}
+	}
+}
+
+// runMapAttempt executes one attempt; fail=true makes it abort after
+// FailPoint of the work, discarding everything.
+func (j *job) runMapAttempt(p *sim.Proc, chunk int, n *node, attempt int, fail bool) (ok bool) {
+	p.Acquire(n.mapSlots, 1)
+	defer p.Release(n.mapSlots, 1)
+	start := p.Now()
+	kind := "map"
+	if fail {
+		kind = "map-failed"
+	}
+	defer func() { j.addSpan(fmt.Sprintf("%s#%d", p.Name(), attempt), kind, n.idx, start, p.Now()) }()
+	j.gauges.Enter(metrics.PhaseMap)
+	defer j.gauges.Leave(metrics.PhaseMap)
+	failAt := int64(-1)
+	if fail {
+		fp := j.spec.Faults.FailPoint
+		if fp <= 0 || fp > 1 {
+			fp = 1
+		}
+		failAt = int64(fp * float64(len(j.spec.Input.ChunkBytes(chunk))))
+	}
+
+	cfg := &j.spec.Cluster
+	model := cfg.Model
+	p.Hold(model.MapStartup + model.TaskOverhead)
+
+	rt := j.newRuntime(p, n, &j.mapCPU)
+	var coll collector
+	var hop *hopCollector
+	switch j.spec.Platform {
+	case SortMerge:
+		coll = sortmerge.NewMapCollector(rt, j.spec.Query, sortmerge.MapCollectorConfig{
+			Prefix:      fmt.Sprintf("m%06d", chunk),
+			Partitions:  j.numReducers,
+			Buffer:      cfg.MapBuffer,
+			MergeFactor: cfg.MergeFactor,
+			ReadSegment: cfg.ReadSegment,
+		})
+	case HOP:
+		hop = newHOPCollector(j, rt, n, chunk)
+		coll = hop
+	default:
+		coll = core.NewHashMapCollector(rt, j.spec.Query, j.numReducers, cfg.MapBuffer,
+			j.spec.Platform.Incremental())
+	}
+
+	data := j.spec.Input.ChunkBytes(chunk)
+	hashCombining := false
+	if hashColl, ok := coll.(*core.HashMapCollector); ok {
+		hashCombining = hashColl.Combining()
+	}
+
+	// Process the chunk in read segments: each segment is one input
+	// I/O request plus one CPU burst covering parsing, the map
+	// function, and the collector's per-record work.
+	seg := cfg.ReadSegment
+	if seg <= 0 || seg > int64(len(data)) {
+		seg = int64(len(data))
+	}
+	for off := int64(0); off < int64(len(data)); {
+		end := off + seg
+		if end >= int64(len(data)) {
+			end = int64(len(data))
+		} else {
+			// Extend to the next record boundary.
+			if nl := bytes.IndexByte(data[end:], '\n'); nl >= 0 {
+				end += int64(nl) + 1
+			} else {
+				end = int64(len(data))
+			}
+		}
+		segment := data[off:end]
+		n.store.ChargeInputRead(p, end-off)
+
+		var records int64
+		for len(segment) > 0 {
+			nl := bytes.IndexByte(segment, '\n')
+			var line []byte
+			if nl < 0 {
+				line, segment = segment, nil
+			} else {
+				line, segment = segment[:nl], segment[nl+1:]
+			}
+			if len(line) == 0 {
+				continue
+			}
+			records++
+			j.spec.Query.Map(line, coll.Add)
+		}
+
+		cpu := model.CPUOps(model.CPUParseByte, end-off) +
+			model.CPUOps(model.CPUMapRecord, records)
+		switch {
+		case j.spec.Platform == SortMerge || j.spec.Platform == HOP:
+			// Sorting CPU is charged inside the collector at spill time.
+		case hashCombining:
+			cpu += model.CPUOps(model.CPUHashInsert+model.CPUCombine, records)
+		default:
+			cpu += model.CPUOps(model.CPUHashInsert, records)
+		}
+		n.chargeCPU(p, cpu, &j.mapCPU)
+		off = end
+		if failAt >= 0 && off >= failAt {
+			// The attempt dies here: work and output are lost; the
+			// JobTracker reschedules the task.
+			return false
+		}
+	}
+
+	parts, mapped, emitted := coll.Finish()
+	j.mapInputRecords += mapped
+	j.mapOutputRecords += emitted
+	if hop == nil {
+		j.publishMapOutput(p, n, fmt.Sprintf("map%06d.a%d.out", chunk, attempt), parts, emitted)
+	}
+
+	j.mapsDone++
+	if j.mapsDone == j.totalMaps {
+		j.mapFinish = p.Now()
+	}
+	j.shuffle.mapperFinished()
+	return true
+}
+
+// publishMapOutput writes the per-partition segments to the node's
+// disk (U3, for fault tolerance) and registers the output with the
+// shuffle service.
+func (j *job) publishMapOutput(p *sim.Proc, n *node, name string, parts [][][]byte, records int64) {
+	o := &mapOutput{
+		node:      n,
+		parts:     parts,
+		partBytes: make([]int64, len(parts)),
+		partOff:   make([]int64, len(parts)),
+		records:   records,
+	}
+	var all []byte
+	for pi, segs := range parts {
+		o.partOff[pi] = int64(len(all))
+		for _, s := range segs {
+			all = append(all, s...)
+			o.partBytes[pi] += int64(len(s))
+		}
+	}
+	o.file = n.store.Create(name, storage.MapOutput)
+	if len(all) > 0 {
+		n.store.Append(p, o.file, all, storage.MapOutput)
+	}
+	n.cacheAdd(o)
+	j.shuffle.publish(o)
+}
+
+// hopCollector implements MapReduce Online-style pipelining (§2.2):
+// map output is pushed to reducers eagerly, one sorted spill at a
+// time, and no map-side multi-pass merge happens — the merge work is
+// redistributed to the reducers, which is exactly the paper's
+// characterization of HOP.
+type hopCollector struct {
+	j     *job
+	rt    *core.Runtime
+	n     *node
+	chunk int
+	comb  mr.Combiner
+	h1    interface {
+		Bucket(key []byte, n int) int
+	}
+
+	buf     []byte
+	spills  int
+	mapped  int64
+	emitted int64
+}
+
+func newHOPCollector(j *job, rt *core.Runtime, n *node, chunk int) *hopCollector {
+	h := &hopCollector{j: j, rt: rt, n: n, chunk: chunk, h1: rt.Fam.Fn(1)}
+	if c, ok := j.spec.Query.(mr.Combiner); ok {
+		h.comb = c
+	}
+	return h
+}
+
+// Add implements collector.
+func (h *hopCollector) Add(key, val []byte) {
+	h.mapped++
+	part := h.h1.Bucket(key, h.j.numReducers)
+	pk := make([]byte, 2+len(key))
+	pk[0], pk[1] = byte(part>>8), byte(part)
+	copy(pk[2:], key)
+	h.buf = kvenc.AppendPair(h.buf, pk, val)
+	if int64(len(h.buf)) >= h.j.spec.Cluster.MapBuffer {
+		h.push()
+	}
+}
+
+// push sorts the buffer, applies the combiner, and publishes the spill
+// immediately as its own shuffle unit.
+func (h *hopCollector) push() {
+	if len(h.buf) == 0 {
+		return
+	}
+	model := h.rt.Model
+	sorted, n := kvenc.SortStream(h.buf)
+	h.rt.ChargeCPU(model.CPUSort(int64(n)))
+	h.buf = nil
+	if h.comb != nil {
+		var out []byte
+		var records int64
+		kvenc.MergeGroups([][]byte{sorted}, func(pk []byte, vals kvenc.ValueIter) bool {
+			grp := &kvenc.CountingIter{Inner: vals}
+			h.comb.Combine(pk[2:], grp, func(v []byte) {
+				out = kvenc.AppendPair(out, pk, v)
+			})
+			records += grp.N
+			return true
+		})
+		h.rt.ChargeOps(model.CPUCombine, records)
+		sorted = out
+	}
+	// Split the sorted compound run into per-partition segments.
+	parts := make([][][]byte, h.j.numReducers)
+	segs := make([][]byte, h.j.numReducers)
+	it := kvenc.NewIterator(sorted)
+	var emitted int64
+	for {
+		pk, v, ok := it.Next()
+		if !ok {
+			break
+		}
+		part := int(pk[0])<<8 | int(pk[1])
+		segs[part] = kvenc.AppendPair(segs[part], pk[2:], v)
+		emitted++
+	}
+	for pi, s := range segs {
+		if len(s) > 0 {
+			parts[pi] = [][]byte{s}
+		}
+	}
+	h.emitted += emitted
+	h.spills++
+	h.j.publishMapOutput(h.rt.P, h.n, fmt.Sprintf("map%06d.push%d", h.chunk, h.spills), parts, emitted)
+}
+
+// Finish implements collector: HOP publishes incrementally, so the
+// last buffered spill is pushed and no aggregate output remains.
+func (h *hopCollector) Finish() ([][][]byte, int64, int64) {
+	h.push()
+	return nil, h.mapped, h.emitted
+}

@@ -1,0 +1,174 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/kvenc"
+	"repro/internal/model"
+	"repro/internal/mr"
+	"repro/internal/workload"
+)
+
+// identityQuery has exactly Km = Kr = 1 up to key overhead: the map
+// emits the record keyed by user, the reduce re-emits every value.
+// That makes the analytical model's workload description exact, so
+// Proposition 3.1 can be validated against the engine's measured
+// byte counters (the paper reports <10% discrepancy; our record
+// re-encoding adds key bytes, so we allow a slightly wider band).
+type identityQuery struct{}
+
+func (identityQuery) Name() string { return "identity" }
+func (identityQuery) Map(record []byte, emit func(k, v []byte)) {
+	emit(record[14:22], record)
+}
+func (identityQuery) Reduce(key []byte, values kvenc.ValueIter, out mr.OutputWriter) {
+	for {
+		v, ok := values.Next()
+		if !ok {
+			return
+		}
+		out.Emit(key, v)
+	}
+}
+
+// TestProposition31MatchesMeasuredIO cross-validates the analytical
+// I/O model (Eq. 1) against the simulated system under a sort-merge
+// run with reduce-side spilling.
+func TestProposition31MatchesMeasuredIO(t *testing.T) {
+	scale := 1.0 / 2048
+	m := cost.Default(scale)
+	cl := PaperCluster(m)
+	cl.MergeFactor = 6
+	// Shrink the reduce buffer so multi-pass merging really happens.
+	cl.ReduceBuffer = m.ScaleBytes(64e6)
+	cl.ProgressInterval = 30 * time.Second
+
+	const dataLogical = 64e9
+	users := 40_000
+	input := workload.NewClickStream(workload.ClickSpec{
+		PhysBytes: m.ScaleBytes(dataLogical),
+		ChunkPhys: m.ScaleBytes(64e6),
+		Seed:      5,
+		Users:     users,
+		UserSkew:  1.1,
+		URLs:      10_000,
+		URLSkew:   1.3,
+		Duration:  24 * time.Hour,
+		Jitter:    time.Second,
+	})
+	rep, err := Run(JobSpec{
+		Query:    identityQuery{},
+		Input:    input,
+		Platform: SortMerge,
+		Cluster:  cl,
+		Hints:    mr.Hints{Km: 1.1, DistinctKeys: int64(users)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ReduceSpillBytes == 0 {
+		t.Fatal("setup error: no reduce spill, the merge terms are untested")
+	}
+
+	// The model takes the *actual* Km/Kr realized by the run.
+	km := float64(rep.MapOutputBytes) / float64(rep.InputBytes)
+	kr := float64(rep.OutputBytes) / float64(rep.MapOutputBytes)
+	w := model.Workload{D: float64(rep.InputBytes), Km: km, Kr: kr}
+	h := model.Hardware{
+		N:  cl.Nodes,
+		Bm: float64(m.LogicalBytes(cl.MapBuffer)),
+		Br: float64(m.LogicalBytes(cl.ReduceBuffer)),
+	}
+	p := model.Params{R: cl.R, C: 64e6, F: cl.MergeFactor}
+
+	predicted := model.IOBytes(w, h, p) * float64(cl.Nodes)
+	// Measured U (the model's five classes, reads+writes): input read
+	// once; map output written once and read back at shuffle (the
+	// model's assumption of memory service maps to our slot cache, so
+	// count the actual shuffle disk reads); spills written+read;
+	// output written once.
+	measured := float64(rep.InputBytes +
+		rep.MapOutputBytes +
+		2*rep.MapSpillBytes +
+		2*rep.ReduceSpillBytes +
+		rep.OutputBytes)
+
+	ratio := measured / predicted
+	t.Logf("U predicted=%.1fGB measured=%.1fGB ratio=%.3f (Km=%.2f Kr=%.2f, spill=%.1fGB)",
+		predicted/1e9, measured/1e9, ratio, km, kr, float64(rep.ReduceSpillBytes)/1e9)
+	if ratio < 0.75 || ratio > 1.25 {
+		t.Fatalf("model-vs-measured I/O diverges: predicted %.1fGB, measured %.1fGB (ratio %.2f)",
+			predicted/1e9, measured/1e9, ratio)
+	}
+}
+
+// TestModelOrderingPredictsMeasuredOrdering checks the weaker but
+// broader claim behind Fig 4(a): across (C, F) settings, the model's
+// time cost ranks the measured running times.
+func TestModelOrderingPredictsMeasuredOrdering(t *testing.T) {
+	scale := 1.0 / 4096
+	m := cost.Default(scale)
+	base := PaperCluster(m)
+	base.ReduceBuffer = m.ScaleBytes(64e6)
+	base.ProgressInterval = 30 * time.Second
+
+	const dataLogical = 24e9
+	w := model.Workload{D: dataLogical, Km: 1.1, Kr: 1.05}
+	h := model.Hardware{N: base.Nodes, Bm: 140e6, Br: 64e6}
+	consts := model.PaperConstants()
+
+	type pt struct {
+		c float64
+		f int
+	}
+	grid := []pt{{16e6, 3}, {64e6, 3}, {64e6, 12}, {256e6, 3}}
+	var modelT, measured []float64
+	for _, g := range grid {
+		cl := base
+		cl.MergeFactor = g.f
+		input := workload.NewClickStream(workload.ClickSpec{
+			PhysBytes: m.ScaleBytes(dataLogical),
+			ChunkPhys: m.ScaleBytes(int64(g.c)),
+			Seed:      5,
+			Users:     20_000,
+			UserSkew:  1.1,
+			URLs:      10_000,
+			URLSkew:   1.3,
+			Duration:  24 * time.Hour,
+			Jitter:    time.Second,
+		})
+		rep, err := Run(JobSpec{
+			Query:    identityQuery{},
+			Input:    input,
+			Platform: SortMerge,
+			Cluster:  cl,
+			Hints:    mr.Hints{Km: 1.1, DistinctKeys: 20_000},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		modelT = append(modelT, model.TimeCost(w, h, model.Params{R: cl.R, C: g.c, F: g.f}, consts))
+		measured = append(measured, rep.RunningTime.Seconds())
+		t.Logf("C=%3.0fMB F=%2d model=%6.0fs measured=%6.0fs", g.c/1e6, g.f, modelT[len(modelT)-1], rep.RunningTime.Seconds())
+	}
+	// What matters for §3.2 is that optimizing by the model optimizes
+	// the system: the model's best (C, F) must be the measured best.
+	// (At the extremes the model underestimates small-chunk per-task
+	// overheads, as the paper's own absolute-value caveat concedes.)
+	bestModel, bestMeasured := argmin(modelT), argmin(measured)
+	if bestModel != bestMeasured {
+		t.Fatalf("model best point %d, measured best %d", bestModel, bestMeasured)
+	}
+}
+
+func argmin(x []float64) int {
+	best := 0
+	for i, v := range x {
+		if v < x[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,263 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/kvenc"
+	"repro/internal/metrics"
+	"repro/internal/mr"
+	"repro/internal/sim"
+	"repro/internal/sortmerge"
+	"repro/internal/storage"
+)
+
+// outputWriter is the per-reduce-task sink: it counts output records,
+// batches bytes, and charges ReduceOutput disk writes on the task's
+// node (the DFS write-back).
+type outputWriter struct {
+	j       *job
+	p       *sim.Proc
+	n       *node
+	pending int64
+	flushAt int64
+}
+
+// Emit implements mr.OutputWriter.
+func (w *outputWriter) Emit(key, value []byte) {
+	j := w.j
+	j.outRecords++
+	sz := int64(len(key) + len(value) + 2)
+	j.outBytes += sz
+	if j.spec.CollectOutput {
+		j.outputs = append(j.outputs, [2]string{string(key), string(value)})
+	}
+	w.pending += sz
+	if w.pending >= w.flushAt {
+		w.flush()
+	}
+}
+
+func (w *outputWriter) flush() {
+	if w.pending > 0 {
+		w.n.enqueueOutput(w.pending)
+		w.pending = 0
+	}
+}
+
+// sync flushes and waits for the node's write-behind queue to drain —
+// the reduce task's output commit.
+func (w *outputWriter) sync() {
+	w.flush()
+	w.n.syncOutput(w.p)
+}
+
+// runReduceTask executes one reduce task: acquire a slot (creating the
+// §3.2 waves when R exceeds slots), shuffle from completed mappers,
+// feed the platform reducer, and finish once all map output arrived.
+func (j *job) runReduceTask(p *sim.Proc, ridx int, n *node) {
+	p.Acquire(n.reduceSlots, 1)
+	defer p.Release(n.reduceSlots, 1)
+	start := p.Now()
+	defer func() { j.addSpan(p.Name(), "reduce", n.idx, start, p.Now()) }()
+
+	cfg := &j.spec.Cluster
+	model := cfg.Model
+	rt := j.newRuntime(p, n, &j.reduceCPU)
+	out := &outputWriter{j: j, p: p, n: n, flushAt: cfg.Page}
+	defer out.sync()
+
+	// Platform-specific consumer.
+	var smr *sortmerge.Reducer
+	var mrh *core.MRHashReducer
+	var inch *core.INCHashReducer
+	var dinch *core.DINCHashReducer
+	prefix := fmt.Sprintf("r%03d", ridx)
+	switch j.spec.Platform {
+	case SortMerge, HOP:
+		smr = sortmerge.NewReducer(rt, j.spec.Query, sortmerge.ReducerConfig{
+			Prefix:      prefix,
+			Buffer:      cfg.ReduceBuffer,
+			MergeFactor: cfg.MergeFactor,
+			ReadSegment: cfg.ReadSegment,
+		})
+	case MRHash:
+		mrh = core.NewMRHashReducer(rt, j.spec.Query, core.MRHashConfig{
+			Prefix:        prefix,
+			MemBudget:     cfg.ReduceBuffer,
+			Page:          cfg.Page,
+			ReadSegment:   cfg.ReadSegment,
+			ExpectedBytes: j.expectedReducerBytes(),
+		})
+	case INCHash:
+		inch = core.NewINCHashReducer(rt, j.spec.Query, core.INCHashConfig{
+			Prefix:             prefix,
+			MemBudget:          cfg.ReduceBuffer,
+			Page:               cfg.Page,
+			ReadSegment:        cfg.ReadSegment,
+			ExpectedStateBytes: j.expectedReducerStateBytes(),
+		}, out)
+	case DINCHash:
+		dinch = core.NewDINCHashReducer(rt, j.spec.Query, core.DINCHashConfig{
+			Prefix:               prefix,
+			MemBudget:            cfg.ReduceBuffer,
+			Page:                 cfg.Page,
+			ReadSegment:          cfg.ReadSegment,
+			ExpectedDistinctKeys: j.spec.Hints.DistinctKeys / int64(j.numReducers),
+			KeyBytes:             16,
+			CoverageThreshold:    j.spec.CoverageThreshold,
+			ScanEvery:            j.spec.ScanEvery,
+		}, out)
+	}
+
+	// Shuffle loop: fetch each published output's partition for ridx.
+	// The task counts as a shuffle task for the whole phase (the
+	// Fig 2(a) timeline semantics), switching to the merge gauge while
+	// it drives multi-pass merges.
+	nextSnap := j.spec.SnapshotEvery
+	j.gauges.Enter(metrics.PhaseShuffle)
+	for next := 0; ; next++ {
+		o, ok := j.shuffle.next(p, next)
+		if !ok {
+			break
+		}
+		segs := o.parts[ridx]
+		size := o.partBytes[ridx]
+		if size > 0 {
+			// Network transfer into this reducer's node.
+			p.Use(n.nic, 1, model.NetTime(size))
+			if o.inMemory {
+				j.memFetches++
+			} else {
+				// The mapper's output left its memory: serve from disk.
+				j.diskFetches++
+				o.node.store.ReadAt(p, o.file, o.partOff[ridx], size, storage.ShuffleRead)
+			}
+			var records int64
+			switch {
+			case smr != nil:
+				for _, seg := range segs {
+					records += int64(kvenc.Count(seg))
+					smr.Consume(seg)
+				}
+				// Merge CPU is charged by the reducer at spill time;
+				// reception itself is a copy.
+				n.chargeCPU(p, model.CPUOps(model.CPUParseByte, size), &j.reduceCPU)
+			default:
+				for _, seg := range segs {
+					it := kvenc.NewIterator(seg)
+					for {
+						k, v, okp := it.Next()
+						if !okp {
+							break
+						}
+						records++
+						switch {
+						case mrh != nil:
+							mrh.Consume(k, v)
+						case inch != nil:
+							inch.Consume(k, v)
+						default:
+							dinch.Consume(k, v)
+						}
+					}
+				}
+				per := model.CPUHashInsert
+				if j.spec.Platform.Incremental() {
+					per += model.CPUCombine
+				}
+				n.chargeCPU(p, model.CPUOps(per, records), &j.reduceCPU)
+			}
+		}
+		j.fetchesDone++
+		j.shuffle.release(o)
+
+		// HOP snapshots: when the map progress crosses the next
+		// threshold, re-merge everything received so far and emit an
+		// approximate answer set (§3.3(4)).
+		if smr != nil && j.spec.SnapshotEvery > 0 {
+			frac := float64(j.mapsDone) / float64(j.totalMaps)
+			for frac >= nextSnap && nextSnap < 1 {
+				j.gauges.Enter(metrics.PhaseMerge)
+				snap := &snapshotWriter{j: j, n: n}
+				smr.Snapshot(snap)
+				snap.flush()
+				j.gauges.Leave(metrics.PhaseMerge)
+				nextSnap += j.spec.SnapshotEvery
+			}
+		}
+
+		// Sort-merge: drive the background multi-pass merge when the
+		// trigger fires (inline, in Fig 2(a)'s "merge" phase).
+		if smr != nil && smr.Tree().NeedsMerge() {
+			j.gauges.Leave(metrics.PhaseShuffle)
+			j.gauges.Enter(metrics.PhaseMerge)
+			for smr.Tree().NeedsMerge() {
+				smr.Tree().MergeOnce(p, smr.Charger())
+			}
+			j.gauges.Leave(metrics.PhaseMerge)
+			j.gauges.Enter(metrics.PhaseShuffle)
+		}
+	}
+	j.gauges.Leave(metrics.PhaseShuffle)
+
+	// All map output received: complete the job.
+	switch {
+	case smr != nil:
+		// Remaining multi-pass merge is blocking I/O (PhaseMerge);
+		// the final merge + reduce function is PhaseReduce.
+		j.gauges.Enter(metrics.PhaseMerge)
+		smr.PrepareFinal()
+		j.gauges.Leave(metrics.PhaseMerge)
+		j.gauges.Enter(metrics.PhaseReduce)
+		smr.Finish(out)
+		j.gauges.Leave(metrics.PhaseReduce)
+	case mrh != nil:
+		j.gauges.Enter(metrics.PhaseReduce)
+		mrh.Finish(out)
+		j.gauges.Leave(metrics.PhaseReduce)
+	case inch != nil:
+		j.gauges.Enter(metrics.PhaseReduce)
+		inch.Finish()
+		j.gauges.Leave(metrics.PhaseReduce)
+	default:
+		j.gauges.Enter(metrics.PhaseReduce)
+		dinch.Finish()
+		j.approxKeys += dinch.ApproxKeys()
+		j.gauges.Leave(metrics.PhaseReduce)
+	}
+}
+
+// snapshotWriter sinks approximate snapshot output: records count
+// separately from the job's final answers, bytes are written back
+// like any reduce output.
+type snapshotWriter struct {
+	j       *job
+	n       *node
+	pending int64
+}
+
+// Emit implements mr.OutputWriter.
+func (w *snapshotWriter) Emit(key, value []byte) {
+	w.j.snapshotRecords++
+	w.pending += int64(len(key) + len(value) + 2)
+}
+
+func (w *snapshotWriter) flush() {
+	w.n.enqueueOutput(w.pending)
+	w.pending = 0
+}
+
+// expectedReducerBytes estimates |D_r| from the input size and Km.
+func (j *job) expectedReducerBytes() int64 {
+	return int64(float64(j.inputBytesEst) * j.spec.Hints.Km / float64(j.numReducers))
+}
+
+// expectedReducerStateBytes estimates Δ at one reducer.
+func (j *job) expectedReducerStateBytes() int64 {
+	stateSize := int64(64)
+	if inc, ok := j.spec.Query.(mr.Incremental); ok {
+		stateSize = int64(inc.StateSize() + 24)
+	}
+	return j.spec.Hints.DistinctKeys * stateSize / int64(j.numReducers)
+}

@@ -1,0 +1,126 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/storage"
+)
+
+// Report is the result of a job run, with all sizes rescaled to
+// logical (paper-scale) bytes and all times in virtual cluster time.
+type Report struct {
+	Query    string
+	Platform string
+
+	// RunningTime is the job makespan; MapFinishTime is when the last
+	// map task completed.
+	RunningTime   time.Duration
+	MapFinishTime time.Duration
+
+	// Per-node CPU consumed by map and reduce work (Table 3 rows).
+	MapCPUPerNode    time.Duration
+	ReduceCPUPerNode time.Duration
+
+	// Logical byte volumes (Tables 1, 3, 4 rows). MapOutputBytes is
+	// the shuffle volume (U3); spills are written bytes.
+	InputBytes       int64 // U1
+	MapSpillBytes    int64 // U2
+	MapOutputBytes   int64 // U3 ("Map output / Shuffle")
+	ReduceSpillBytes int64 // U4 ("Reduce spill")
+	OutputBytes      int64 // U5 ("Reduce output")
+
+	// TotalIOBytes / TotalIORequests are the measured U and S per
+	// cluster (logical), for comparison with the analytical model.
+	TotalIOBytes    int64
+	TotalIORequests int64
+
+	// MemShuffleFetches / DiskShuffleFetches split shuffle fetches by
+	// whether they were served from the mapper's memory or its disk
+	// (the §3.2(3) reducer-wave effect).
+	MemShuffleFetches  int64
+	DiskShuffleFetches int64
+
+	OutputRecords    int64
+	MapInputRecords  int64
+	MapOutputRecords int64
+	ApproxKeys       int64
+	// SnapshotRecords counts approximate records emitted by HOP
+	// snapshots (not part of the final answer).
+	SnapshotRecords int64
+
+	// Progress is the Definition 1 curve; Samples carries the raw
+	// timeline / CPU / iowait series.
+	Progress []metrics.ProgressPoint
+	Samples  []metrics.Sample
+
+	// Outputs holds all emitted records when CollectOutput was set.
+	Outputs [][2]string
+
+	// Spans lists every task's lifetime (for trace export).
+	Spans []Span
+}
+
+// report assembles the final Report from the job state.
+func (j *job) report(s *metrics.Sampler) *Report {
+	m := j.spec.Cluster.Model
+	var c storage.Counters
+	for _, n := range j.nodes {
+		c.Add(n.store.Counters())
+	}
+	r := &Report{
+		Query:         j.spec.Query.Name(),
+		Platform:      j.spec.Platform.String(),
+		RunningTime:   j.k.NowDur(),
+		MapFinishTime: time.Duration(j.mapFinish),
+
+		MapCPUPerNode:    time.Duration(j.mapCPU / int64(len(j.nodes))),
+		ReduceCPUPerNode: time.Duration(j.reduceCPU / int64(len(j.nodes))),
+
+		InputBytes:       m.LogicalBytes(c.ReadBytes[storage.MapInput]),
+		MapSpillBytes:    m.LogicalBytes(c.WrittenBytes[storage.MapSpill]),
+		MapOutputBytes:   m.LogicalBytes(c.WrittenBytes[storage.MapOutput]),
+		ReduceSpillBytes: m.LogicalBytes(c.WrittenBytes[storage.ReduceSpill]),
+		OutputBytes:      m.LogicalBytes(c.WrittenBytes[storage.ReduceOutput]),
+
+		TotalIOBytes:    m.LogicalBytes(c.TotalBytes()),
+		TotalIORequests: c.TotalReqs(),
+
+		MemShuffleFetches:  j.memFetches,
+		DiskShuffleFetches: j.diskFetches,
+
+		OutputRecords:    j.outRecords,
+		MapInputRecords:  j.mapInputRecords,
+		MapOutputRecords: j.mapOutputRecords,
+		ApproxKeys:       j.approxKeys,
+		SnapshotRecords:  j.snapshotRecords,
+
+		Samples: s.Samples(),
+		Outputs: j.outputs,
+		Spans:   j.spans,
+	}
+	r.Progress = metrics.Progress(r.Samples, metrics.Totals{
+		MapTasks:  j.totalMaps,
+		Fetches:   j.fetchesDone,
+		FnRecords: j.fnRecords,
+		OutRecs:   j.outRecords,
+	})
+	return r
+}
+
+// String summarizes the report in one table-style block.
+func (r *Report) String() string {
+	return fmt.Sprintf(
+		"%s on %s: time=%s mapDone=%s mapCPU/node=%s redCPU/node=%s in=%s shuffle=%s mapSpill=%s redSpill=%s out=%s records=%d",
+		r.Query, r.Platform,
+		r.RunningTime.Round(time.Second), r.MapFinishTime.Round(time.Second),
+		r.MapCPUPerNode.Round(time.Second), r.ReduceCPUPerNode.Round(time.Second),
+		GB(r.InputBytes), GB(r.MapOutputBytes), GB(r.MapSpillBytes), GB(r.ReduceSpillBytes), GB(r.OutputBytes),
+		r.OutputRecords)
+}
+
+// GB formats a logical byte count as gigabytes.
+func GB(b int64) string {
+	return fmt.Sprintf("%.1fGB", float64(b)/1e9)
+}

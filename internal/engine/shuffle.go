@@ -1,0 +1,86 @@
+package engine
+
+import (
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// mapOutput is one published unit of map output: the whole output of a
+// completed map task (sort-merge, hash), or one pushed spill (HOP
+// pipelining, where mappers publish eagerly at spill granularity).
+type mapOutput struct {
+	id   int
+	node *node
+
+	parts     [][][]byte // per partition: list of encoded segments
+	partBytes []int64
+	partOff   []int64 // byte offset of each partition in file
+	file      *storage.File
+
+	records  int64 // pairs across all partitions
+	inMemory bool
+	fetches  int
+	refs     int // partitions not yet fetched by all reducers
+}
+
+// shuffleService is the centralized "which mappers have completed"
+// service reducers poll (§2.2); Broadcast replaces polling in the
+// simulation.
+type shuffleService struct {
+	cond        *sim.Cond
+	outputs     []*mapOutput
+	mappersDone int
+	mappersAll  int
+	reducers    int
+}
+
+func newShuffleService(k *sim.Kernel, mappers, reducers int) *shuffleService {
+	return &shuffleService{
+		cond:       sim.NewCond(k, "shuffle"),
+		mappersAll: mappers,
+		reducers:   reducers,
+	}
+}
+
+// publish makes a map output unit available to reducers.
+func (s *shuffleService) publish(o *mapOutput) {
+	o.id = len(s.outputs)
+	o.refs = s.reducers
+	s.outputs = append(s.outputs, o)
+	s.cond.Broadcast()
+}
+
+// mapperFinished records one map task completion.
+func (s *shuffleService) mapperFinished() {
+	s.mappersDone++
+	s.cond.Broadcast()
+}
+
+// allPublished reports whether every mapper has finished, i.e. no more
+// outputs will appear.
+func (s *shuffleService) allPublished() bool { return s.mappersDone == s.mappersAll }
+
+// next blocks the reducer until output idx exists or the stream is
+// complete; ok=false means no more outputs.
+func (s *shuffleService) next(p *sim.Proc, idx int) (*mapOutput, bool) {
+	p.WaitFor(s.cond, func() bool {
+		return idx < len(s.outputs) || s.allPublished()
+	})
+	if idx < len(s.outputs) {
+		return s.outputs[idx], true
+	}
+	return nil, false
+}
+
+// release notes that one reducer has fetched its partition; when all
+// have, the output's memory and disk file are reclaimed.
+func (s *shuffleService) release(o *mapOutput) {
+	o.refs--
+	if o.refs == 0 {
+		if o.file != nil {
+			o.node.store.Delete(o.file)
+			o.file = nil
+		}
+		o.parts = nil
+	}
+}

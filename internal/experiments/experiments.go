@@ -1,0 +1,264 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§2.3, §3.2, §6): each experiment is a named,
+// self-contained recipe that builds the workload, configures the
+// cluster, runs the jobs, and reports the same rows or series the
+// paper does. cmd/benchtables drives them from the command line;
+// bench_test.go wraps each in a testing.B benchmark.
+//
+// Numbers are reported at logical (paper) scale; the Scale knob trades
+// fidelity for speed (1/512 by default: 1GB of physical data stands in
+// for 512GB). Shapes — who wins, by what factor, where crossovers fall
+// — are the reproduction target, not absolute seconds.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Scale is the physical:logical data ratio (default 1/512).
+	Scale float64
+	// Quick shrinks datasets and grids for smoke runs and benchmarks.
+	Quick bool
+	// Seed drives all synthetic data.
+	Seed int64
+	// Log receives progress lines (nil = silent).
+	Log io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 1.0 / 512
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+func (c Config) logf(format string, args ...interface{}) {
+	if c.Log != nil {
+		fmt.Fprintf(c.Log, format+"\n", args...)
+	}
+}
+
+// sized returns logical bytes, shrunk in quick mode.
+func (c Config) sized(logical float64) int64 {
+	if c.Quick {
+		logical /= 16
+	}
+	return int64(logical)
+}
+
+// Series is one named curve: rows of columns, first row is the header.
+type Series struct {
+	Name   string
+	Header []string
+	Rows   [][]string
+}
+
+// Result is an experiment's output.
+type Result struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Series []Series
+	// Findings are one-line measured statements checked against the
+	// paper's claims (the EXPERIMENTS.md entries).
+	Findings []string
+}
+
+func (r *Result) addFinding(format string, args ...interface{}) {
+	r.Findings = append(r.Findings, fmt.Sprintf(format, args...))
+}
+
+// Experiment is a registered reproduction recipe.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Config) (*Result, error)
+}
+
+var registry []Experiment
+
+func register(id, title string, run func(Config) (*Result, error)) {
+	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+}
+
+// All returns every experiment in registration (paper) order.
+func All() []Experiment { return append([]Experiment(nil), registry...) }
+
+// Get returns the experiment with the given id.
+func Get(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// --- shared setup helpers ---
+
+// paperCluster returns the paper's cluster at the configured scale.
+func (c Config) paperCluster() engine.ClusterConfig {
+	m := cost.Default(c.Scale)
+	cl := engine.PaperCluster(m)
+	cl.ProgressInterval = 20 * time.Second
+	if c.Quick {
+		cl.ProgressInterval = 2 * time.Second
+	}
+	return cl
+}
+
+// sessionUsers sizes the user pool so the total distinct session
+// states are ~2.2× the cluster's reduce memory: the INC-hash table
+// fills roughly 60% of the way through the job, matching where the
+// Fig 7(a) reduce progress diverges from the map progress.
+func sessionUsers(cl engine.ClusterConfig, stateBytes int) int {
+	totalMem := int64(cl.R*cl.Nodes) * cl.ReduceBuffer
+	perKey := int64(stateBytes + 50)
+	u := int(2.2 * float64(totalMem) / float64(perKey))
+	if u < 1000 {
+		u = 1000
+	}
+	return u
+}
+
+// clickInput builds the click stream for a logical size and chunk C.
+func (c Config) clickInput(logicalBytes, chunkLogical float64, users int) *workload.ClickStream {
+	m := cost.Default(c.Scale)
+	spec := workload.ClickSpec{
+		PhysBytes: m.ScaleBytes(c.sized(logicalBytes)),
+		ChunkPhys: m.ScaleBytes(int64(chunkLogical)),
+		Seed:      c.Seed,
+		Users:     users,
+		UserSkew:  1.2,
+		URLs:      20_000,
+		URLSkew:   1.3,
+		Duration:  24 * time.Hour,
+		Jitter:    2 * time.Second,
+	}
+	return workload.NewClickStream(spec)
+}
+
+// run executes a job and logs one summary line.
+func (c Config) run(spec engine.JobSpec) (*engine.Report, error) {
+	start := time.Now()
+	rep, err := engine.Run(spec)
+	if err != nil {
+		return nil, err
+	}
+	c.logf("  %-14s %-10s vtime=%-10s spill=%-8s (wall %.1fs)",
+		rep.Query, rep.Platform, rep.RunningTime.Round(time.Second),
+		engine.GB(rep.ReduceSpillBytes), time.Since(start).Seconds())
+	return rep, nil
+}
+
+// --- formatting helpers ---
+
+func secs(d time.Duration) string { return fmt.Sprintf("%.0f", d.Seconds()) }
+
+func gb(b int64) string { return fmt.Sprintf("%.1f", float64(b)/1e9) }
+
+// progressSeries converts a report's progress curve into a Series.
+func progressSeries(name string, rep *engine.Report) Series {
+	s := Series{
+		Name:   name,
+		Header: []string{"t_sec", "map", "reduce", "shuffle", "fn", "out"},
+	}
+	for _, p := range rep.Progress {
+		s.Rows = append(s.Rows, []string{
+			fmt.Sprintf("%.0f", p.T.Seconds()),
+			fmt.Sprintf("%.4f", p.Map),
+			fmt.Sprintf("%.4f", p.Reduce),
+			fmt.Sprintf("%.4f", p.Shuffle),
+			fmt.Sprintf("%.4f", p.Fn),
+			fmt.Sprintf("%.4f", p.Out),
+		})
+	}
+	return s
+}
+
+// utilSeries converts raw samples into the CPU/iowait/timeline curves
+// of Fig 2 and Fig 4(d,e).
+func utilSeries(name string, rep *engine.Report) Series {
+	s := Series{
+		Name:   name,
+		Header: []string{"t_sec", "cpu_util", "iowait", "read_MBps", "map_tasks", "shuffle_tasks", "merge_tasks", "reduce_tasks"},
+	}
+	for _, sm := range rep.Samples {
+		s.Rows = append(s.Rows, []string{
+			fmt.Sprintf("%.0f", sm.T.Seconds()),
+			fmt.Sprintf("%.3f", sm.CPUUtil),
+			fmt.Sprintf("%.3f", sm.IOWait),
+			fmt.Sprintf("%.1f", sm.ReadMBps),
+			fmt.Sprintf("%d", sm.Tasks[metrics.PhaseMap]),
+			fmt.Sprintf("%d", sm.Tasks[metrics.PhaseShuffle]),
+			fmt.Sprintf("%d", sm.Tasks[metrics.PhaseMerge]),
+			fmt.Sprintf("%d", sm.Tasks[metrics.PhaseReduce]),
+		})
+	}
+	return s
+}
+
+// reduceAtMapFinish returns the Definition 1 reduce progress at the
+// moment the last map task completed.
+func reduceAtMapFinish(rep *engine.Report) float64 {
+	best := 0.0
+	for _, p := range rep.Progress {
+		if p.T <= rep.MapFinishTime {
+			best = p.Reduce
+		}
+	}
+	return best
+}
+
+// peakIOWaitAfter returns the maximum iowait at or after t.
+func peakIOWaitAfter(rep *engine.Report, t time.Duration) float64 {
+	peak := 0.0
+	for _, s := range rep.Samples {
+		if s.T >= t && s.IOWait > peak {
+			peak = s.IOWait
+		}
+	}
+	return peak
+}
+
+// spearman computes the rank correlation between two slices.
+func spearman(a, b []float64) float64 {
+	ra, rb := ranks(a), ranks(b)
+	n := float64(len(a))
+	if n < 2 {
+		return 0
+	}
+	var d2 float64
+	for i := range ra {
+		d := ra[i] - rb[i]
+		d2 += d * d
+	}
+	return 1 - 6*d2/(n*(n*n-1))
+}
+
+func ranks(x []float64) []float64 {
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return x[idx[i]] < x[idx[j]] })
+	r := make([]float64, len(x))
+	for rank, i := range idx {
+		r[i] = float64(rank)
+	}
+	return r
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// quickCfg is a steeply scaled configuration so harness tests run in
+// seconds.
+func quickCfg() Config {
+	return Config{Scale: 1.0 / 8192, Quick: true, Seed: 42}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table1", "fig2", "fig2d", "fig2ef", "fig4ab", "fig4c",
+		"fig4de", "fig4f", "sec32r", "table3", "fig7d", "table4", "fig7f",
+		"hopsnap", "coverage", "windows",
+	}
+	for _, id := range want {
+		if _, ok := Get(id); !ok {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	if len(All()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(All()), len(want))
+	}
+	if _, ok := Get("nonsense"); ok {
+		t.Error("Get accepted a bogus id")
+	}
+}
+
+func TestTable1Shapes(t *testing.T) {
+	res, err := Get2(t, "table1").Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("table1 rows: %d", len(res.Rows))
+	}
+	// Sessionization must spill much more than the combiner workloads.
+	spills := res.Rows[2]
+	if spills[0] != "Reduce spill (GB)" {
+		t.Fatalf("row order changed: %v", spills)
+	}
+	if spills[1] <= spills[2] && spills[1] <= spills[3] {
+		// String compare is fine for "x.y" magnitudes here; just make
+		// sure sessionization is not the smallest.
+		t.Fatalf("sessionization spill not dominant: %v", spills)
+	}
+}
+
+// Get2 fetches an experiment or fails the test.
+func Get2(t *testing.T, id string) Experiment {
+	t.Helper()
+	e, ok := Get(id)
+	if !ok {
+		t.Fatalf("experiment %s missing", id)
+	}
+	return e
+}
+
+func TestTable4DINCBeatsINC(t *testing.T) {
+	res, err := Get2(t, "table4").Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Findings must report a spill reduction (the "×" factor line).
+	found := false
+	for _, f := range res.Findings {
+		if strings.Contains(f, "less") && strings.Contains(f, "DINC") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing DINC finding: %v", res.Findings)
+	}
+	if len(res.Series) != 3 {
+		t.Fatalf("series: %d", len(res.Series))
+	}
+}
+
+func TestFig4abProducesGridAndCorrelation(t *testing.T) {
+	res, err := Get2(t, "fig4ab").Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 4 {
+		t.Fatalf("grid too small: %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if len(row) != 4 {
+			t.Fatalf("bad row %v", row)
+		}
+	}
+}
+
+func TestSeriesWellFormed(t *testing.T) {
+	res, err := Get2(t, "fig2").Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) == 0 {
+		t.Fatal("fig2 produced no series")
+	}
+	for _, s := range res.Series {
+		if len(s.Header) == 0 || len(s.Rows) == 0 {
+			t.Fatalf("series %s empty", s.Name)
+		}
+		for _, r := range s.Rows {
+			if len(r) != len(s.Header) {
+				t.Fatalf("series %s: row width %d vs header %d", s.Name, len(r), len(s.Header))
+			}
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Scale != 1.0/512 || c.Seed == 0 {
+		t.Fatalf("defaults: %+v", c)
+	}
+	full := Config{Scale: 1}.sized(16e9)
+	quick := Config{Scale: 1, Quick: true}.sized(16e9)
+	if full != 16e9 || quick != 1e9 {
+		t.Fatalf("sizing: %d %d", full, quick)
+	}
+}
+
+func TestSpearman(t *testing.T) {
+	if got := spearman([]float64{1, 2, 3, 4}, []float64{10, 20, 30, 40}); got < 0.999 {
+		t.Fatalf("perfect correlation: %f", got)
+	}
+	if got := spearman([]float64{1, 2, 3, 4}, []float64{40, 30, 20, 10}); got > -0.999 {
+		t.Fatalf("perfect anticorrelation: %f", got)
+	}
+}

@@ -1,0 +1,168 @@
+// Package hashfam provides families of independent hash functions.
+//
+// The hash-based platform of the paper (§4) implements the MapReduce
+// group-by with a series of independent hash functions h1, h2, h3, …:
+// h1 partitions map output across reducers, h2 partitions a reducer's
+// input into buckets, h3 groups within the in-memory bucket, h4 (and
+// beyond) handle recursive partitioning. The paper uses standard
+// universal hashing so the functions are independent of each other;
+// this package provides exactly that: a seeded family where Fn(i)
+// yields the i-th function, plus a frequency-aware partitioner used
+// when key frequencies are known a priori (paper §5).
+package hashfam
+
+import (
+	"encoding/binary"
+	"math/rand"
+)
+
+// Func is a single hash function over byte-string keys.
+type Func struct {
+	// Multiply–shift / Carter–Wegman style mixing constants. a0/a1 are
+	// odd multipliers, b is an additive offset; together with the
+	// per-function seed folded into the initial state they make the
+	// family pairwise independent for fixed-length prefixes and
+	// practically independent for variable-length keys.
+	a0, a1, b uint64
+}
+
+// Sum64 hashes key to a 64-bit value.
+func (f Func) Sum64(key []byte) uint64 {
+	h := f.b
+	// Process 8-byte words with distinct multipliers per round parity.
+	for len(key) >= 8 {
+		w := binary.LittleEndian.Uint64(key)
+		h = (h ^ w) * f.a0
+		h ^= h >> 29
+		h *= f.a1
+		key = key[8:]
+	}
+	if len(key) > 0 {
+		var tail [8]byte
+		copy(tail[:], key)
+		w := binary.LittleEndian.Uint64(tail[:]) | uint64(len(key))<<56
+		h = (h ^ w) * f.a1
+		h ^= h >> 31
+		h *= f.a0
+	}
+	h ^= h >> 32
+	h *= 0x9e3779b97f4a7c15
+	h ^= h >> 29
+	return h
+}
+
+// Bucket maps key into [0, n). n must be positive.
+func (f Func) Bucket(key []byte, n int) int {
+	if n <= 0 {
+		panic("hashfam: Bucket with non-positive n")
+	}
+	// Multiply-high range reduction avoids modulo bias for small n.
+	return int(mulHigh(f.Sum64(key), uint64(n)))
+}
+
+// mulHigh returns the high 64 bits of a*b.
+func mulHigh(a, b uint64) uint64 {
+	const mask = 1<<32 - 1
+	ahi, alo := a>>32, a&mask
+	bhi, blo := b>>32, b&mask
+	t := ahi*blo + (alo*blo)>>32
+	return ahi*bhi + t>>32 + (t&mask+alo*bhi)>>32
+}
+
+// Family is a seeded, indexable family of independent hash functions.
+// Fn(i) is deterministic in (seed, i).
+type Family struct {
+	seed int64
+}
+
+// NewFamily returns the family identified by seed.
+func NewFamily(seed int64) *Family {
+	return &Family{seed: seed}
+}
+
+// Fn returns the i-th function of the family (i ≥ 0). The functions
+// for distinct i are generated from disjoint PRNG streams and are
+// independent for the purposes of recursive partitioning.
+func (fam *Family) Fn(i int) Func {
+	rng := rand.New(rand.NewSource(fam.seed ^ int64(i+1)*0x5851f42d4c957f2d))
+	return Func{
+		a0: uint64(rng.Int63())<<1 | 1, // odd
+		a1: uint64(rng.Int63())<<1 | 1, // odd
+		b:  uint64(rng.Int63()) ^ uint64(rng.Int63())<<32>>1,
+	}
+}
+
+// Partitioner assigns keys to n partitions. The default implementation
+// is hash-based; WeightedPartitioner balances known-frequency keys.
+type Partitioner interface {
+	Partition(key []byte, n int) int
+}
+
+// HashPartitioner partitions by a single hash function (the h1 of the
+// paper's framework).
+type HashPartitioner struct {
+	F Func
+}
+
+// Partition implements Partitioner.
+func (p HashPartitioner) Partition(key []byte, n int) int { return p.F.Bucket(key, n) }
+
+// WeightedKey is a key with an a-priori relative frequency, used to
+// customize the partitioner when frequencies are known (paper §5:
+// "if the frequency of hash keys is available a priori, our prototype
+// can customize the hash function to balance the amount of data
+// across buckets").
+type WeightedKey struct {
+	Key    []byte
+	Weight float64
+}
+
+// WeightedPartitioner pins a set of known-hot keys to explicit
+// partitions chosen greedily to balance total weight, and falls back
+// to hashing for all other keys.
+type WeightedPartitioner struct {
+	fallback Func
+	pinned   map[string]int
+}
+
+// NewWeightedPartitioner builds a partitioner over n partitions that
+// balances the given weighted keys. Keys not listed fall back to the
+// provided hash function.
+func NewWeightedPartitioner(hot []WeightedKey, n int, fallback Func) *WeightedPartitioner {
+	if n <= 0 {
+		panic("hashfam: NewWeightedPartitioner with non-positive n")
+	}
+	wp := &WeightedPartitioner{fallback: fallback, pinned: make(map[string]int, len(hot))}
+	// Greedy longest-processing-time assignment: heaviest key goes to
+	// the currently lightest partition.
+	order := make([]int, len(hot))
+	for i := range order {
+		order[i] = i
+	}
+	// Insertion sort by descending weight (len(hot) is small: the hot set).
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && hot[order[j]].Weight > hot[order[j-1]].Weight; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	load := make([]float64, n)
+	for _, idx := range order {
+		best := 0
+		for p := 1; p < n; p++ {
+			if load[p] < load[best] {
+				best = p
+			}
+		}
+		load[best] += hot[idx].Weight
+		wp.pinned[string(hot[idx].Key)] = best
+	}
+	return wp
+}
+
+// Partition implements Partitioner.
+func (wp *WeightedPartitioner) Partition(key []byte, n int) int {
+	if p, ok := wp.pinned[string(key)]; ok && p < n {
+		return p
+	}
+	return wp.fallback.Bucket(key, n)
+}

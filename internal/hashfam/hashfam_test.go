@@ -1,0 +1,184 @@
+package hashfam
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSum64Deterministic(t *testing.T) {
+	f := NewFamily(1).Fn(0)
+	a := f.Sum64([]byte("user-123"))
+	b := f.Sum64([]byte("user-123"))
+	if a != b {
+		t.Fatalf("Sum64 not deterministic: %x vs %x", a, b)
+	}
+}
+
+func TestFamilyFunctionsDiffer(t *testing.T) {
+	fam := NewFamily(7)
+	key := []byte("the-same-key")
+	seen := make(map[uint64]int)
+	for i := 0; i < 16; i++ {
+		h := fam.Fn(i).Sum64(key)
+		if j, dup := seen[h]; dup {
+			t.Fatalf("functions %d and %d collide on %q", i, j, key)
+		}
+		seen[h] = i
+	}
+}
+
+func TestFamilySeedChangesFunctions(t *testing.T) {
+	key := []byte("k")
+	if NewFamily(1).Fn(0).Sum64(key) == NewFamily(2).Fn(0).Sum64(key) {
+		t.Fatal("different seeds produced identical functions")
+	}
+}
+
+func TestBucketInRange(t *testing.T) {
+	f := NewFamily(3).Fn(2)
+	err := quick.Check(func(key []byte, n uint8) bool {
+		m := int(n)%64 + 1
+		b := f.Bucket(key, m)
+		return b >= 0 && b < m
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBucketPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n=0")
+		}
+	}()
+	NewFamily(0).Fn(0).Bucket([]byte("x"), 0)
+}
+
+// TestBucketUniformity checks that a family function distributes a
+// large set of distinct string keys close to uniformly: the platform's
+// hybrid-hash analysis (§4.1) assumes h2 evenly distributes data.
+func TestBucketUniformity(t *testing.T) {
+	f := NewFamily(11).Fn(1)
+	const n = 32
+	const keys = 64000
+	var counts [n]int
+	for i := 0; i < keys; i++ {
+		counts[f.Bucket([]byte(fmt.Sprintf("key-%d", i)), n)]++
+	}
+	want := float64(keys) / n
+	// chi-squared statistic; with 31 dof, 99.9th percentile ≈ 61.1.
+	var chi2 float64
+	for _, c := range counts {
+		d := float64(c) - want
+		chi2 += d * d / want
+	}
+	if chi2 > 61.1 {
+		t.Fatalf("bucket distribution too skewed: chi2=%.1f counts=%v", chi2, counts)
+	}
+}
+
+// TestPairIndependence spot-checks that bucket assignments under two
+// different family members look independent: conditioned on h2's
+// bucket, h3 should still spread keys.
+func TestPairIndependence(t *testing.T) {
+	fam := NewFamily(5)
+	h2, h3 := fam.Fn(2), fam.Fn(3)
+	const nb = 8
+	joint := make(map[[2]int]int)
+	const keys = 32000
+	for i := 0; i < keys; i++ {
+		k := []byte(fmt.Sprintf("user%07d", i))
+		joint[[2]int{h2.Bucket(k, nb), h3.Bucket(k, nb)}]++
+	}
+	want := float64(keys) / (nb * nb)
+	var chi2 float64
+	for a := 0; a < nb; a++ {
+		for b := 0; b < nb; b++ {
+			d := float64(joint[[2]int{a, b}]) - want
+			chi2 += d * d / want
+		}
+	}
+	// 63 dof, 99.9th percentile ≈ 103.4.
+	if chi2 > 103.4 {
+		t.Fatalf("joint distribution of h2,h3 too dependent: chi2=%.1f", chi2)
+	}
+}
+
+func TestAvalanche(t *testing.T) {
+	// Flipping one input bit should flip roughly half the output bits.
+	f := NewFamily(9).Fn(0)
+	base := []byte("abcdefgh12345678")
+	h0 := f.Sum64(base)
+	total, n := 0, 0
+	for i := range base {
+		for bit := 0; bit < 8; bit++ {
+			mod := append([]byte(nil), base...)
+			mod[i] ^= 1 << bit
+			total += popcount64(h0 ^ f.Sum64(mod))
+			n++
+		}
+	}
+	avg := float64(total) / float64(n)
+	if math.Abs(avg-32) > 4 {
+		t.Fatalf("poor avalanche: avg flipped bits %.2f (want ≈32)", avg)
+	}
+}
+
+func popcount64(x uint64) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+func TestWeightedPartitionerBalances(t *testing.T) {
+	fam := NewFamily(2)
+	hot := []WeightedKey{
+		{Key: []byte("a"), Weight: 10},
+		{Key: []byte("b"), Weight: 9},
+		{Key: []byte("c"), Weight: 5},
+		{Key: []byte("d"), Weight: 4},
+		{Key: []byte("e"), Weight: 1},
+		{Key: []byte("f"), Weight: 1},
+	}
+	wp := NewWeightedPartitioner(hot, 2, fam.Fn(0))
+	load := map[int]float64{}
+	for _, h := range hot {
+		load[wp.Partition(h.Key, 2)] += h.Weight
+	}
+	if math.Abs(load[0]-load[1]) > 2 {
+		t.Fatalf("imbalanced pinned load: %v", load)
+	}
+}
+
+func TestWeightedPartitionerFallback(t *testing.T) {
+	fam := NewFamily(2)
+	wp := NewWeightedPartitioner(nil, 4, fam.Fn(0))
+	for i := 0; i < 100; i++ {
+		k := []byte(fmt.Sprintf("cold-%d", i))
+		if got, want := wp.Partition(k, 4), fam.Fn(0).Bucket(k, 4); got != want {
+			t.Fatalf("fallback mismatch for %q: %d vs %d", k, got, want)
+		}
+	}
+}
+
+func BenchmarkSum64_16B(b *testing.B) {
+	f := NewFamily(1).Fn(0)
+	key := []byte("0123456789abcdef")
+	b.SetBytes(int64(len(key)))
+	for i := 0; i < b.N; i++ {
+		_ = f.Sum64(key)
+	}
+}
+
+func BenchmarkBucket_16B(b *testing.B) {
+	f := NewFamily(1).Fn(0)
+	key := []byte("0123456789abcdef")
+	for i := 0; i < b.N; i++ {
+		_ = f.Bucket(key, 40)
+	}
+}

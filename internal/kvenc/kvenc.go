@@ -1,0 +1,294 @@
+// Package kvenc defines the encoded key/value stream format shared by
+// map output, spill files, and sorted runs, plus the sorting, k-way
+// merging, and group-iteration primitives the sort-merge data path is
+// built from.
+//
+// A stream is a concatenation of pairs, each encoded as
+//
+//	[keyLen uvarint][valLen uvarint][key][value]
+//
+// (the same layout as bytestore.KVBuffer, so buffers flush directly
+// into files). A "run" is a stream whose pairs are sorted by key
+// (bytes.Compare). Merging is stable across runs: ties preserve run
+// order, which keeps value arrival order deterministic end to end.
+package kvenc
+
+import (
+	"bytes"
+	"container/heap"
+	"encoding/binary"
+	"sort"
+)
+
+// Iterator decodes a stream pair by pair. The zero value is empty.
+type Iterator struct {
+	data []byte
+	key  []byte
+	val  []byte
+}
+
+// NewIterator returns an iterator over an encoded stream.
+func NewIterator(data []byte) *Iterator { return &Iterator{data: data} }
+
+// Next advances to the next pair, returning false at end of stream.
+// The returned slices alias the underlying stream.
+func (it *Iterator) Next() (key, val []byte, ok bool) {
+	if len(it.data) == 0 {
+		return nil, nil, false
+	}
+	klen, kn := binary.Uvarint(it.data)
+	vlen, vn := binary.Uvarint(it.data[kn:])
+	p := kn + vn
+	it.key = it.data[p : p+int(klen) : p+int(klen)]
+	p += int(klen)
+	it.val = it.data[p : p+int(vlen) : p+int(vlen)]
+	p += int(vlen)
+	it.data = it.data[p:]
+	return it.key, it.val, true
+}
+
+// AppendPair appends one encoded pair to dst and returns the extended
+// slice.
+func AppendPair(dst, key, val []byte) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(key)))
+	dst = append(dst, tmp[:n]...)
+	n = binary.PutUvarint(tmp[:], uint64(len(val)))
+	dst = append(dst, tmp[:n]...)
+	dst = append(dst, key...)
+	return append(dst, val...)
+}
+
+// Count returns the number of pairs in a stream.
+func Count(data []byte) int {
+	n := 0
+	it := NewIterator(data)
+	for {
+		if _, _, ok := it.Next(); !ok {
+			return n
+		}
+		n++
+	}
+}
+
+// SortStream sorts a stream's pairs by key (stable) and returns a new
+// encoded stream along with the pair count. It is the map-side sort of
+// the sort-merge implementation.
+func SortStream(data []byte) ([]byte, int) {
+	type span struct {
+		keyOff, keyEnd int // key bytes
+		off, end       int // whole pair
+	}
+	var spans []span
+	for p := 0; p < len(data); {
+		start := p
+		klen, kn := binary.Uvarint(data[p:])
+		vlen, vn := binary.Uvarint(data[p+kn:])
+		keyOff := p + kn + vn
+		p = keyOff + int(klen) + int(vlen)
+		spans = append(spans, span{keyOff: keyOff, keyEnd: keyOff + int(klen), off: start, end: p})
+	}
+	sort.SliceStable(spans, func(i, j int) bool {
+		return bytes.Compare(data[spans[i].keyOff:spans[i].keyEnd], data[spans[j].keyOff:spans[j].keyEnd]) < 0
+	})
+	out := make([]byte, 0, len(data))
+	for _, s := range spans {
+		out = append(out, data[s.off:s.end]...)
+	}
+	return out, len(spans)
+}
+
+// IsSorted reports whether a stream's keys are non-decreasing.
+func IsSorted(data []byte) bool {
+	it := NewIterator(data)
+	var prev []byte
+	first := true
+	for {
+		k, _, ok := it.Next()
+		if !ok {
+			return true
+		}
+		if !first && bytes.Compare(prev, k) > 0 {
+			return false
+		}
+		prev = append(prev[:0], k...)
+		first = false
+	}
+}
+
+// mergeHeap orders run iterators by (current key, run index).
+type mergeHeap struct {
+	its  []*Iterator
+	keys [][]byte
+	vals [][]byte
+	idx  []int
+}
+
+func (h *mergeHeap) Len() int { return len(h.its) }
+func (h *mergeHeap) Less(i, j int) bool {
+	c := bytes.Compare(h.keys[i], h.keys[j])
+	if c != 0 {
+		return c < 0
+	}
+	return h.idx[i] < h.idx[j]
+}
+func (h *mergeHeap) Swap(i, j int) {
+	h.its[i], h.its[j] = h.its[j], h.its[i]
+	h.keys[i], h.keys[j] = h.keys[j], h.keys[i]
+	h.vals[i], h.vals[j] = h.vals[j], h.vals[i]
+	h.idx[i], h.idx[j] = h.idx[j], h.idx[i]
+}
+func (h *mergeHeap) Push(x interface{}) { panic("unused") }
+func (h *mergeHeap) Pop() interface{}   { panic("unused") }
+
+// Merger produces the merged (key-ordered) sequence of several runs.
+type Merger struct {
+	h mergeHeap
+}
+
+// NewMerger creates a k-way merger over the given runs.
+func NewMerger(runs [][]byte) *Merger {
+	m := &Merger{}
+	for i, r := range runs {
+		it := NewIterator(r)
+		if k, v, ok := it.Next(); ok {
+			m.h.its = append(m.h.its, it)
+			m.h.keys = append(m.h.keys, k)
+			m.h.vals = append(m.h.vals, v)
+			m.h.idx = append(m.h.idx, i)
+		}
+	}
+	heap.Init(&m.h)
+	return m
+}
+
+// Next returns the next pair in merged key order.
+func (m *Merger) Next() (key, val []byte, ok bool) {
+	if m.h.Len() == 0 {
+		return nil, nil, false
+	}
+	key, val = m.h.keys[0], m.h.vals[0]
+	if k, v, more := m.h.its[0].Next(); more {
+		m.h.keys[0], m.h.vals[0] = k, v
+		heap.Fix(&m.h, 0)
+	} else {
+		n := m.h.Len() - 1
+		m.h.Swap(0, n)
+		m.h.its = m.h.its[:n]
+		m.h.keys = m.h.keys[:n]
+		m.h.vals = m.h.vals[:n]
+		m.h.idx = m.h.idx[:n]
+		if n > 0 {
+			heap.Fix(&m.h, 0)
+		}
+	}
+	return key, val, true
+}
+
+// MergeStream fully merges runs into a single encoded run.
+func MergeStream(runs [][]byte) []byte {
+	var total int
+	for _, r := range runs {
+		total += len(r)
+	}
+	out := make([]byte, 0, total)
+	m := NewMerger(runs)
+	for {
+		k, v, ok := m.Next()
+		if !ok {
+			return out
+		}
+		out = AppendPair(out, k, v)
+	}
+}
+
+// ValueIter streams the values of one group to a reduce function.
+type ValueIter interface {
+	// Next returns the next value of the current group.
+	Next() ([]byte, bool)
+}
+
+// groupIter implements ValueIter over a Merger with one-pair lookahead.
+type groupIter struct {
+	m       *Merger
+	key     []byte
+	pending []byte // lookahead value for key, nil if consumed
+	done    bool   // group exhausted
+	nextKey []byte // first key of the next group (set when done)
+	nextVal []byte
+	eos     bool
+}
+
+func (g *groupIter) Next() ([]byte, bool) {
+	if g.pending != nil {
+		v := g.pending
+		g.pending = nil
+		return v, true
+	}
+	if g.done {
+		return nil, false
+	}
+	k, v, ok := g.m.Next()
+	if !ok {
+		g.done, g.eos = true, true
+		return nil, false
+	}
+	if !bytes.Equal(k, g.key) {
+		g.done = true
+		g.nextKey, g.nextVal = k, v
+		return nil, false
+	}
+	return v, true
+}
+
+// MergeGroups merges runs and calls fn once per distinct key with a
+// streaming iterator over that key's values (in stable run order).
+// This is the final merge + group-by that feeds the reduce function.
+// If fn returns false, iteration stops.
+func MergeGroups(runs [][]byte, fn func(key []byte, vals ValueIter) bool) {
+	m := NewMerger(runs)
+	k, v, ok := m.Next()
+	for ok {
+		g := &groupIter{m: m, key: k, pending: v}
+		cont := fn(k, g)
+		// Drain any unconsumed values of this group.
+		for !g.done {
+			if _, more := g.Next(); !more {
+				break
+			}
+		}
+		if !cont || g.eos {
+			return
+		}
+		k, v, ok = g.nextKey, g.nextVal, !g.eos && g.nextKey != nil
+	}
+}
+
+// SliceValues materializes an iterator (test helper and small-group
+// convenience).
+func SliceValues(vals ValueIter) [][]byte {
+	var out [][]byte
+	for {
+		v, ok := vals.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, append([]byte(nil), v...))
+	}
+}
+
+// CountingIter wraps a ValueIter and counts the values pulled through
+// it (used to meter records consumed by reduce functions).
+type CountingIter struct {
+	Inner ValueIter
+	N     int64
+}
+
+// Next implements ValueIter.
+func (c *CountingIter) Next() ([]byte, bool) {
+	v, ok := c.Inner.Next()
+	if ok {
+		c.N++
+	}
+	return v, ok
+}

@@ -1,0 +1,173 @@
+// Package merge implements Hadoop's multi-pass merge of on-disk sorted
+// runs — the process the paper's λ_F(n,b) cost analysis models (§3.1,
+// Fig 3) and the component its benchmarking identifies as the blocking
+// I/O bottleneck of sort-merge.
+//
+// Policy (quoted from the paper): as initial sorted runs are generated
+// they are written to spill files on disk; "whenever the number of
+// files on disk reaches 2F−1, a background thread merges the smallest
+// F files into a new file on disk". When input ends, merging continues
+// until fewer than 2F−1 files remain, and a final merge streams all
+// remaining files to the consumer in sorted order.
+//
+// A Tree tracks the files and exposes the policy as discrete
+// operations; the owning task (or a background merger process) drives
+// them, so the simulation reproduces both the I/O volume λ predicts
+// and the blocking behaviour the paper observes.
+package merge
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/kvenc"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// CPUCharger charges virtual CPU time for merge work. It is
+// implemented by the engine (per-node CPU resource + cost model);
+// tests may pass nil for free CPU.
+type CPUCharger interface {
+	// ChargeMerge accounts for moving physRecords records through one
+	// merge pass (read, compare, write).
+	ChargeMerge(p *sim.Proc, physRecords int64)
+}
+
+// Tree is the set of on-disk sorted runs of one task, with the
+// multi-pass merge policy.
+type Tree struct {
+	store  *storage.Store
+	class  storage.IOClass
+	prefix string
+	f      int
+	seg    int64 // read segment size for merge reads (physical bytes)
+	files  []*storage.File
+	seq    int
+
+	spilledBytes int64 // physical bytes ever written (initial + merged)
+	mergedBytes  int64 // physical bytes written by merge passes only
+}
+
+// NewTree creates a merge tree whose files live on store with the
+// given I/O class (MapSpill or ReduceSpill) and merge factor F ≥ 2.
+// readSegment bounds each merge read request (≤0 means whole file).
+func NewTree(store *storage.Store, class storage.IOClass, prefix string, f int, readSegment int64) *Tree {
+	if f < 2 {
+		panic(fmt.Sprintf("merge: factor %d < 2", f))
+	}
+	return &Tree{store: store, class: class, prefix: prefix, f: f, seg: readSegment}
+}
+
+// Files returns the current number of on-disk files.
+func (t *Tree) Files() int { return len(t.files) }
+
+// SpilledBytes returns all physical bytes written into the tree
+// (initial spills plus merge outputs): λ at physical scale.
+func (t *Tree) SpilledBytes() int64 { return t.spilledBytes }
+
+// MergedBytes returns physical bytes written by merge passes only.
+func (t *Tree) MergedBytes() int64 { return t.mergedBytes }
+
+// AddRun writes a sorted run to a new spill file. The caller must
+// drive NeedsMerge/MergeOnce (directly or via a background process).
+func (t *Tree) AddRun(p *sim.Proc, run []byte) {
+	if len(run) == 0 {
+		return
+	}
+	t.seq++
+	f := t.store.Create(fmt.Sprintf("%s.spill%d", t.prefix, t.seq), t.class)
+	t.store.Append(p, f, run, t.class)
+	t.spilledBytes += int64(len(run))
+	t.files = append(t.files, f)
+}
+
+// NeedsMerge reports whether the background-merge trigger has fired
+// (2F−1 or more files on disk).
+func (t *Tree) NeedsMerge() bool { return len(t.files) >= 2*t.f-1 }
+
+// MergeOnce merges the smallest F files into a new on-disk file,
+// charging reads, CPU, and the write. It returns false if fewer than
+// F files exist (nothing merged).
+func (t *Tree) MergeOnce(p *sim.Proc, cpu CPUCharger) bool {
+	if len(t.files) < t.f {
+		return false
+	}
+	// Pick the F smallest files; ties resolved by age (stable sort on
+	// a copy keeps t.files in creation order).
+	byClass := append([]*storage.File(nil), t.files...)
+	sort.SliceStable(byClass, func(i, j int) bool { return byClass[i].Size() < byClass[j].Size() })
+	victims := byClass[:t.f]
+	isVictim := make(map[*storage.File]bool, t.f)
+	for _, v := range victims {
+		isVictim[v] = true
+	}
+
+	runs := make([][]byte, 0, t.f)
+	var records int64
+	for _, v := range victims {
+		data := t.store.ReadAll(p, v, t.seg, t.class)
+		// Copy: the file is deleted below and its backing array freed.
+		runs = append(runs, append([]byte(nil), data...))
+	}
+	merged := kvenc.MergeStream(runs)
+	records = int64(kvenc.Count(merged))
+	if cpu != nil {
+		cpu.ChargeMerge(p, records)
+	}
+
+	t.seq++
+	out := t.store.Create(fmt.Sprintf("%s.merge%d", t.prefix, t.seq), t.class)
+	t.store.Append(p, out, merged, t.class)
+	t.spilledBytes += int64(len(merged))
+	t.mergedBytes += int64(len(merged))
+
+	kept := t.files[:0]
+	for _, f := range t.files {
+		if isVictim[f] {
+			t.store.Delete(f)
+		} else {
+			kept = append(kept, f)
+		}
+	}
+	t.files = append(kept, out)
+	return true
+}
+
+// Complete runs merges until the on-disk file count drops below the
+// 2F−1 threshold ("complete the multi-pass merge"). Called after all
+// runs have been added.
+func (t *Tree) Complete(p *sim.Proc, cpu CPUCharger) {
+	for t.NeedsMerge() {
+		if !t.MergeOnce(p, cpu) {
+			return
+		}
+	}
+}
+
+// FinalRuns reads every remaining file (charging I/O) and returns
+// their contents for the final streaming merge. The files are then
+// deleted: their bytes have been consumed.
+func (t *Tree) FinalRuns(p *sim.Proc) [][]byte {
+	runs := make([][]byte, 0, len(t.files))
+	for _, f := range t.files {
+		data := t.store.ReadAll(p, f, t.seg, t.class)
+		runs = append(runs, append([]byte(nil), data...))
+		t.store.Delete(f)
+	}
+	t.files = nil
+	return runs
+}
+
+// PeekRuns reads every current file (charging I/O) without consuming
+// it: the snapshot path of MapReduce Online re-merges the same on-disk
+// runs repeatedly, which is exactly the overhead the paper calls out
+// in §3.3(4).
+func (t *Tree) PeekRuns(p *sim.Proc) [][]byte {
+	runs := make([][]byte, 0, len(t.files))
+	for _, f := range t.files {
+		data := t.store.ReadAll(p, f, t.seg, t.class)
+		runs = append(runs, append([]byte(nil), data...))
+	}
+	return runs
+}

@@ -1,0 +1,30 @@
+package model_test
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// Reproduce the §3.2 parameter optimization: D=97GB sessionization on
+// the paper's cluster, picking the chunk size and merge factor.
+func ExampleOptimize() {
+	w := model.Workload{D: 97e9, Km: 1, Kr: 1}
+	h := model.Hardware{N: 10, Bm: 140e6, Br: 260e6}
+	best := model.Optimize(w, h, 4,
+		[]float64{16e6, 32e6, 64e6, 128e6, 256e6},
+		[]int{4, 8, 16, 32},
+		model.PaperConstants())
+	fmt.Println(best)
+	// Output: R=4 C=128MB F=16
+}
+
+// λ_F(n, b) is zero when the data fits in one run and grows with the
+// number of initial runs.
+func ExampleLambda() {
+	fmt.Println(model.Lambda(8, 1, 1e6))
+	fmt.Printf("%.0fMB\n", model.Lambda(8, 32, 1e6)/1e6)
+	// Output:
+	// 0
+	// 53MB
+}

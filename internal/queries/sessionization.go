@@ -1,0 +1,265 @@
+package queries
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/kvenc"
+	"repro/internal/mr"
+)
+
+// Sessionization reorders page clicks into individual user sessions
+// (§2.3): the map function extracts the user id and groups clicks by
+// user; the reduce side arranges each user's clicks by timestamp,
+// streams out the clicks of the current session, and closes a session
+// after the gap (5 minutes in the paper) of inactivity.
+//
+// Incrementally (§6.1), the state is a fixed-size buffer of a user's
+// pending clicks, kept timestamp-ordered; because map output arrives
+// with bounded disorder, a click older than the global watermark minus
+// the gap (and a slack for the disorder bound) can be emitted — the
+// session it belongs to can never be re-opened. The DINC eviction rule
+// of §6.2 is implemented via mr.Evictor/mr.Scavenger: a state whose
+// clicks all belong to expired sessions is output directly instead of
+// spilled.
+//
+// Output: one record per click, keyed by user, valued
+// "s<session>\t<original record>", so the reduce output volume equals
+// the input volume as in Table 1.
+type Sessionization struct {
+	gap       int64 // ms of inactivity that closes a session
+	slack     int64 // ms of tolerated arrival disorder
+	stateSize int
+
+	watermark int64 // max click timestamp seen by the map function
+}
+
+// NewSessionization creates the query. stateSize is the per-user
+// click-buffer state footprint in bytes (the paper evaluates 512, 1024
+// and 2048); slack must exceed the workload's timestamp disorder
+// bound.
+func NewSessionization(gap time.Duration, stateSize int, slack time.Duration) *Sessionization {
+	if stateSize < 64 {
+		panic("queries: sessionization state too small to hold a click")
+	}
+	return &Sessionization{
+		gap:       gap.Milliseconds(),
+		slack:     slack.Milliseconds(),
+		stateSize: stateSize,
+	}
+}
+
+// Name implements mr.Query.
+func (q *Sessionization) Name() string { return "sessionization" }
+
+// Map implements mr.Query: key by user id, keep the whole record as
+// the value, and advance the global watermark.
+func (q *Sessionization) Map(record []byte, emit func(k, v []byte)) {
+	if ts := clickTs(record); ts > q.watermark {
+		q.watermark = ts
+	}
+	emit(clickUser(record), record)
+}
+
+// Reduce implements mr.Query (the sort-merge / MR-hash path): sort the
+// user's clicks by timestamp and emit them split into sessions.
+func (q *Sessionization) Reduce(key []byte, values kvenc.ValueIter, out mr.OutputWriter) {
+	type click struct {
+		ts  int64
+		rec []byte
+	}
+	var clicks []click
+	for {
+		v, ok := values.Next()
+		if !ok {
+			break
+		}
+		clicks = append(clicks, click{ts: clickTs(v), rec: append([]byte(nil), v...)})
+	}
+	sort.SliceStable(clicks, func(i, j int) bool { return clicks[i].ts < clicks[j].ts })
+	session, last := 0, int64(-1)
+	for _, c := range clicks {
+		if last >= 0 && c.ts-last > q.gap {
+			session++
+		}
+		last = c.ts
+		out.Emit(key, []byte(fmt.Sprintf("s%04d\t%s", session, c.rec)))
+	}
+}
+
+// State layout:
+//
+//	[session u16][lastEmit i64][clicks: ([ts i64][len u16][record])*]
+//
+// clicks are kept in timestamp order. lastEmit is the timestamp of the
+// last emitted click (0 = none yet).
+const sessHeader = 2 + 8
+
+func sessSession(st []byte) int       { return int(binary.BigEndian.Uint16(st)) }
+func sessSetSession(st []byte, s int) { binary.BigEndian.PutUint16(st, uint16(s)) }
+func sessLastEmit(st []byte) int64 {
+	return int64(binary.BigEndian.Uint64(st[2:]))
+}
+func sessSetLastEmit(st []byte, ts int64) { binary.BigEndian.PutUint64(st[2:], uint64(ts)) }
+
+// appendClick packs one click onto the state.
+func appendClick(st []byte, ts int64, rec []byte) []byte {
+	var hdr [10]byte
+	binary.BigEndian.PutUint64(hdr[:8], uint64(ts))
+	binary.BigEndian.PutUint16(hdr[8:], uint16(len(rec)))
+	st = append(st, hdr[:]...)
+	return append(st, rec...)
+}
+
+// eachClick iterates the packed clicks, returning the offset after the
+// last visited click if fn stops iteration.
+func eachClick(st []byte, fn func(off int, ts int64, rec []byte) bool) {
+	for off := sessHeader; off < len(st); {
+		ts := int64(binary.BigEndian.Uint64(st[off:]))
+		l := int(binary.BigEndian.Uint16(st[off+8:]))
+		rec := st[off+10 : off+10+l]
+		if !fn(off, ts, rec) {
+			return
+		}
+		off += 10 + l
+	}
+}
+
+// Init implements mr.Incremental: a state holding one click.
+func (q *Sessionization) Init(key, value []byte) []byte {
+	st := make([]byte, sessHeader, sessHeader+10+len(value))
+	return appendClick(st, clickTs(value), value)
+}
+
+// MergeStates implements mr.Incremental: splice b's clicks into a in
+// timestamp order (both are ordered, and b is usually newer).
+func (q *Sessionization) MergeStates(key, a, b []byte) []byte {
+	if len(a) < sessHeader {
+		return append(a[:0], b...)
+	}
+	if len(b) < sessHeader {
+		return a
+	}
+	type click struct {
+		ts  int64
+		rec []byte
+	}
+	var merged []click
+	collect := func(st []byte) {
+		eachClick(st, func(_ int, ts int64, rec []byte) bool {
+			merged = append(merged, click{ts, append([]byte(nil), rec...)})
+			return true
+		})
+	}
+	collect(a)
+	collect(b)
+	sort.SliceStable(merged, func(i, j int) bool { return merged[i].ts < merged[j].ts })
+	// Keep a's bookkeeping; take the later lastEmit.
+	out := make([]byte, sessHeader, len(a)+len(b))
+	copy(out, a[:sessHeader])
+	if lb := sessLastEmit(b); lb > sessLastEmit(out) {
+		sessSetLastEmit(out, lb)
+	}
+	for _, c := range merged {
+		out = appendClick(out, c.ts, c.rec)
+	}
+	return out
+}
+
+// emitFront pops and emits clicks from the front of the state while
+// cond holds, maintaining session numbering, and returns the trimmed
+// state.
+func (q *Sessionization) emitFront(key, st []byte, out mr.OutputWriter, cond func(ts int64, size int) bool) []byte {
+	if len(st) < sessHeader {
+		return st
+	}
+	off := sessHeader
+	session, last := sessSession(st), sessLastEmit(st)
+	for off < len(st) {
+		ts := int64(binary.BigEndian.Uint64(st[off:]))
+		l := int(binary.BigEndian.Uint16(st[off+8:]))
+		if !cond(ts, len(st)-off+sessHeader) {
+			break
+		}
+		rec := st[off+10 : off+10+l]
+		if last > 0 && ts-last > q.gap {
+			session++
+		}
+		last = ts
+		out.Emit(key, []byte(fmt.Sprintf("s%04d\t%s", session, rec)))
+		off += 10 + l
+	}
+	if off == sessHeader {
+		return st
+	}
+	// Compact: move the tail down over the emitted prefix.
+	n := copy(st[sessHeader:], st[off:])
+	st = st[:sessHeader+n]
+	sessSetSession(st, session)
+	sessSetLastEmit(st, last)
+	return st
+}
+
+// TryEmit implements mr.EarlyEmitter: stream out clicks whose sessions
+// can no longer change — those older than watermark − gap − slack —
+// and force out the oldest clicks when the buffer exceeds its fixed
+// size (the bounded-disorder buffer of §6.1).
+func (q *Sessionization) TryEmit(key, state []byte, out mr.OutputWriter) []byte {
+	horizon := q.watermark - q.gap - q.slack
+	return q.emitFront(key, state, out, func(ts int64, size int) bool {
+		return ts <= horizon || size > q.stateSize
+	})
+}
+
+// Finalize implements mr.Incremental: end of input closes every
+// session.
+func (q *Sessionization) Finalize(key, state []byte, out mr.OutputWriter) {
+	q.emitFront(key, state, out, func(int64, int) bool { return true })
+}
+
+// StateSize implements mr.Incremental.
+func (q *Sessionization) StateSize() int { return q.stateSize }
+
+// OnEvict implements mr.Evictor (§6.2): if every buffered click
+// belongs to an expired session, the clicks are output directly
+// instead of being spilled to disk.
+func (q *Sessionization) OnEvict(key, state []byte, out mr.OutputWriter) bool {
+	if q.allExpired(state) {
+		q.Finalize(key, state, out)
+		return true
+	}
+	return false
+}
+
+// Scavenge implements mr.Scavenger: a zero-count monitored state whose
+// clicks are all expired can be retired.
+func (q *Sessionization) Scavenge(key, state []byte) bool {
+	return q.allExpired(state)
+}
+
+func (q *Sessionization) allExpired(state []byte) bool {
+	horizon := q.watermark - q.gap - q.slack
+	expired := true
+	eachClick(state, func(_ int, ts int64, _ []byte) bool {
+		if ts > horizon {
+			expired = false
+			return false
+		}
+		return true
+	})
+	return expired
+}
+
+// Watermark returns the max click timestamp observed (for tests).
+func (q *Sessionization) Watermark() int64 { return q.watermark }
+
+// Interface checks.
+var (
+	_ mr.Query        = &Sessionization{}
+	_ mr.Incremental  = &Sessionization{}
+	_ mr.EarlyEmitter = &Sessionization{}
+	_ mr.Evictor      = &Sessionization{}
+	_ mr.Scavenger    = &Sessionization{}
+)

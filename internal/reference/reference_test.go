@@ -1,0 +1,73 @@
+package reference
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/kvenc"
+	"repro/internal/mr"
+	"repro/internal/queries"
+	"repro/internal/workload"
+)
+
+func TestRunGroupsAndReduces(t *testing.T) {
+	in := workload.NewBytesInput("t", []byte("a\nb\na\na\nb\nc\n"), 4)
+	outs := Run(countingQuery{}, in)
+	want := map[string]string{"a": "3", "b": "2", "c": "1"}
+	if len(outs) != 3 {
+		t.Fatalf("outputs %v", outs)
+	}
+	for _, o := range outs {
+		if want[o.Key] != o.Value {
+			t.Fatalf("key %s = %s, want %s", o.Key, o.Value, want[o.Key])
+		}
+	}
+	keys := Keys(outs)
+	if len(keys) != 3 || keys[0] != "a" || keys[2] != "c" {
+		t.Fatalf("keys %v", keys)
+	}
+}
+
+// countingQuery counts whole-line keys.
+type countingQuery struct{}
+
+func (countingQuery) Name() string                         { return "count" }
+func (countingQuery) Map(r []byte, emit func(k, v []byte)) { emit(r, []byte("1")) }
+func (countingQuery) Reduce(k []byte, vals kvenc.ValueIter, out mr.OutputWriter) {
+	n := 0
+	for {
+		if _, ok := vals.Next(); !ok {
+			break
+		}
+		n++
+	}
+	out.Emit(k, []byte(strconv.Itoa(n)))
+}
+
+func TestOracleMatchesQueriesOnClicks(t *testing.T) {
+	spec := workload.DefaultClickSpec(64<<10, 8<<10, 21)
+	spec.Users = 300
+	spec.URLs = 50
+	in := workload.NewClickStream(spec)
+
+	// Click counting: every user's count equals its occurrences.
+	outs := Run(queries.NewClickCount(), in)
+	var total int64
+	for _, o := range outs {
+		n, err := strconv.ParseInt(o.Value, 10, 64)
+		if err != nil {
+			t.Fatalf("bad count %q", o.Value)
+		}
+		total += n
+	}
+	if total != in.TotalRecords() {
+		t.Fatalf("counts sum to %d, want %d records", total, in.TotalRecords())
+	}
+
+	// Sessionization: every click comes back out exactly once.
+	sess := Run(queries.NewSessionization(5*time.Minute, 512, 5*time.Second), in)
+	if int64(len(sess)) != in.TotalRecords() {
+		t.Fatalf("sessionization emitted %d of %d clicks", len(sess), in.TotalRecords())
+	}
+}

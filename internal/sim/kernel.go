@@ -1,0 +1,242 @@
+// Package sim implements a deterministic process-oriented discrete-event
+// simulation kernel.
+//
+// The reproduction executes the paper's cluster experiments (10 nodes ×
+// 4 cores, map/reduce slots, per-node disks and NICs) on a single
+// machine: every map/shuffle/merge/reduce operation processes real data,
+// but time is virtual. Processes (Proc) are goroutines scheduled one at
+// a time by the Kernel in strict (time, sequence) order, so simulations
+// are bit-for-bit deterministic. Resources model slots, CPU cores, disk
+// arms, and NICs with FIFO queueing and utilization accounting, which
+// the metrics package samples to reproduce the paper's CPU-utilization
+// and iowait plots.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// killSentinel is panicked inside a parked process when the kernel
+// shuts down, unwinding the goroutine cleanly.
+type killSentinel struct{}
+
+// event is a scheduled resumption of a process.
+type event struct {
+	at  int64
+	seq uint64
+	p   *Proc
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event simulation driver. Create with NewKernel,
+// add processes with Spawn, then call Run. A Kernel must not be reused
+// after Run returns.
+type Kernel struct {
+	now     int64
+	seq     uint64
+	events  eventHeap
+	parked  chan *Proc
+	live    int // non-daemon procs not yet finished
+	blocked map[*Proc]string
+	allPr   []*Proc
+	started bool
+	err     error
+}
+
+// NewKernel returns an empty kernel at virtual time zero.
+func NewKernel() *Kernel {
+	return &Kernel{
+		parked:  make(chan *Proc),
+		blocked: make(map[*Proc]string),
+	}
+}
+
+// Now returns the current virtual time in nanoseconds since the start
+// of the simulation.
+func (k *Kernel) Now() int64 { return k.now }
+
+// NowDur returns the current virtual time as a duration.
+func (k *Kernel) NowDur() time.Duration { return time.Duration(k.now) }
+
+// Proc is a simulated process. All its methods must be called from the
+// process's own goroutine (the function passed to Spawn).
+type Proc struct {
+	k      *Kernel
+	name   string
+	daemon bool
+	done   bool
+	killed bool
+	resume chan struct{}
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time in nanoseconds.
+func (p *Proc) Now() int64 { return p.k.now }
+
+// Kernel returns the kernel this process runs on.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Spawn creates a process that starts at the current virtual time.
+// It may be called before Run or from inside a running process.
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	return k.spawn(name, false, fn)
+}
+
+// SpawnDaemon creates a background process (e.g. a metrics sampler)
+// that does not keep the simulation alive: Run returns when all
+// non-daemon processes have finished, killing daemons.
+func (k *Kernel) SpawnDaemon(name string, fn func(p *Proc)) *Proc {
+	return k.spawn(name, true, fn)
+}
+
+func (k *Kernel) spawn(name string, daemon bool, fn func(p *Proc)) *Proc {
+	p := &Proc{k: k, name: name, daemon: daemon, resume: make(chan struct{})}
+	if !daemon {
+		k.live++
+	}
+	k.allPr = append(k.allPr, p)
+	k.schedule(k.now, p)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(killSentinel); ok {
+					return // clean shutdown
+				}
+				panic(r)
+			}
+		}()
+		<-p.resume // wait for first scheduling
+		if p.killed {
+			panic(killSentinel{})
+		}
+		fn(p)
+		p.done = true
+		k.parked <- p
+	}()
+	return p
+}
+
+// schedule enqueues a resumption of p at time at.
+func (k *Kernel) schedule(at int64, p *Proc) {
+	k.seq++
+	heap.Push(&k.events, event{at: at, seq: k.seq, p: p})
+}
+
+// park transfers control from the running process back to the kernel.
+// The process resumes when the kernel next schedules it.
+func (p *Proc) park(why string) {
+	p.k.blocked[p] = why
+	p.k.parked <- p
+	<-p.resume
+	if p.killed {
+		panic(killSentinel{})
+	}
+}
+
+// Hold advances the process's virtual time by d (which must be ≥ 0).
+func (p *Proc) Hold(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: %s Hold(%v) negative", p.name, d))
+	}
+	p.k.schedule(p.k.now+int64(d), p)
+	p.park("hold")
+}
+
+// Yield reschedules the process at the current time, letting other
+// processes scheduled for this instant run first.
+func (p *Proc) Yield() { p.Hold(0) }
+
+// Run executes the simulation until all non-daemon processes finish.
+// It returns an error if the simulation deadlocks (live processes
+// remain but no events are pending).
+func (k *Kernel) Run() error {
+	if k.started {
+		return fmt.Errorf("sim: kernel reused")
+	}
+	k.started = true
+	for k.live > 0 {
+		if k.events.Len() == 0 {
+			k.err = k.deadlockError()
+			break
+		}
+		e := heap.Pop(&k.events).(event)
+		if e.at < k.now {
+			panic("sim: time went backwards")
+		}
+		k.now = e.at
+		if e.p.done {
+			continue // stale event for a finished process
+		}
+		delete(k.blocked, e.p)
+		e.p.resume <- struct{}{}
+		q := <-k.parked
+		if q.done {
+			delete(k.blocked, q)
+			if !q.daemon {
+				k.live--
+			}
+		}
+	}
+	k.shutdown()
+	return k.err
+}
+
+// deadlockError reports which processes are blocked and why.
+func (k *Kernel) deadlockError() error {
+	var names []string
+	for p, why := range k.blocked {
+		if !p.done {
+			names = append(names, p.name+"("+why+")")
+		}
+	}
+	sort.Strings(names)
+	return fmt.Errorf("sim: deadlock at t=%v with %d blocked procs: %v", k.NowDur(), len(names), names)
+}
+
+// shutdown kills every remaining parked process so its goroutine exits.
+func (k *Kernel) shutdown() {
+	for _, p := range k.allPr {
+		if p.done {
+			continue
+		}
+		if _, isBlocked := k.blocked[p]; !isBlocked {
+			// Process was spawned but never started, or has a pending
+			// event; it is parked on its resume channel either way.
+			// (Procs with pending events are parked too.)
+		}
+		p.killed = true
+		p.done = true
+		select {
+		case p.resume <- struct{}{}:
+			// Goroutine will observe killed and unwind; it does not
+			// report back through k.parked because panic bypasses the
+			// normal completion path, so nothing to drain.
+		default:
+			// Goroutine never started its wait (shouldn't happen) or
+			// already exited.
+		}
+	}
+}

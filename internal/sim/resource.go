@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Resource models a countable resource with FIFO queueing: task slots
+// (capacity = slots per node), CPU cores (capacity = cores), a disk arm
+// (capacity = 1), or NIC bandwidth tokens. Processes Acquire units,
+// hold them across virtual time, and Release them.
+//
+// The resource keeps time integrals of units-in-use and of queue
+// length, from which the metrics package derives utilization (for the
+// paper's CPU plots) and wait pressure (for the iowait plots).
+type Resource struct {
+	k        *Kernel
+	name     string
+	capacity int64
+	inUse    int64
+	waiters  []*waiter
+
+	lastChange   int64 // virtual time of the last inUse/queue change
+	busyIntegral int64 // ∫ inUse dt, in unit·nanoseconds
+	qIntegral    int64 // ∫ queueLen dt
+}
+
+type waiter struct {
+	p *Proc
+	n int64
+}
+
+// NewResource creates a resource with the given capacity (> 0).
+func NewResource(k *Kernel, name string, capacity int64) *Resource {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("sim: resource %s capacity %d", name, capacity))
+	}
+	return &Resource{k: k, name: name, capacity: capacity}
+}
+
+// Name returns the resource name.
+func (r *Resource) Name() string { return r.name }
+
+// Capacity returns the total capacity.
+func (r *Resource) Capacity() int64 { return r.capacity }
+
+// InUse returns the units currently held.
+func (r *Resource) InUse() int64 { return r.inUse }
+
+// QueueLen returns the number of processes waiting to acquire.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// advance accumulates the time integrals up to the current instant.
+func (r *Resource) advance() {
+	dt := r.k.now - r.lastChange
+	if dt > 0 {
+		r.busyIntegral += r.inUse * dt
+		r.qIntegral += int64(len(r.waiters)) * dt
+	}
+	r.lastChange = r.k.now
+}
+
+// BusyIntegral returns ∫ unitsInUse dt up to now, in unit·nanoseconds.
+func (r *Resource) BusyIntegral() int64 {
+	r.advance()
+	return r.busyIntegral
+}
+
+// QueueIntegral returns ∫ queueLen dt up to now.
+func (r *Resource) QueueIntegral() int64 {
+	r.advance()
+	return r.qIntegral
+}
+
+// Acquire blocks the process until n units are available, then takes
+// them. Grants are strictly FIFO: a request never overtakes an earlier
+// one even if it could be satisfied sooner, matching slot scheduling.
+func (p *Proc) Acquire(r *Resource, n int64) {
+	if n <= 0 || n > r.capacity {
+		panic(fmt.Sprintf("sim: %s acquires %d of %s (capacity %d)", p.name, n, r.name, r.capacity))
+	}
+	if len(r.waiters) == 0 && r.inUse+n <= r.capacity {
+		r.advance()
+		r.inUse += n
+		return
+	}
+	r.advance()
+	r.waiters = append(r.waiters, &waiter{p: p, n: n})
+	p.park("acquire " + r.name)
+}
+
+// Release returns n units and wakes any waiters that now fit, in FIFO
+// order.
+func (p *Proc) Release(r *Resource, n int64) {
+	r.advance()
+	r.inUse -= n
+	if r.inUse < 0 {
+		panic(fmt.Sprintf("sim: %s over-released %s", p.name, r.name))
+	}
+	for len(r.waiters) > 0 {
+		w := r.waiters[0]
+		if r.inUse+w.n > r.capacity {
+			break
+		}
+		r.inUse += w.n
+		r.waiters = r.waiters[1:]
+		r.k.schedule(r.k.now, w.p)
+	}
+}
+
+// Use acquires n units, holds them for d, and releases them. It is the
+// common pattern for a CPU burst or an I/O service time.
+func (p *Proc) Use(r *Resource, n int64, d time.Duration) {
+	p.Acquire(r, n)
+	p.Hold(d)
+	p.Release(r, n)
+}
+
+// Cond is a broadcast condition variable for simulated processes.
+// There is no spurious wakeup beyond the usual requirement to re-check
+// the predicate: Broadcast wakes exactly the processes waiting at that
+// instant.
+type Cond struct {
+	k       *Kernel
+	name    string
+	waiters []*Proc
+}
+
+// NewCond creates a condition variable.
+func NewCond(k *Kernel, name string) *Cond {
+	return &Cond{k: k, name: name}
+}
+
+// Wait parks the process until the next Broadcast.
+func (p *Proc) Wait(c *Cond) {
+	c.waiters = append(c.waiters, p)
+	p.park("wait " + c.name)
+}
+
+// WaitFor parks the process until pred() is true, re-checking after
+// every Broadcast of c. pred is evaluated immediately first.
+func (p *Proc) WaitFor(c *Cond, pred func() bool) {
+	for !pred() {
+		p.Wait(c)
+	}
+}
+
+// Broadcast wakes all current waiters. It may be called from any
+// running process (or before Run from the setup code).
+func (c *Cond) Broadcast() {
+	for _, p := range c.waiters {
+		c.k.schedule(c.k.now, p)
+	}
+	c.waiters = c.waiters[:0]
+}

@@ -1,0 +1,341 @@
+// Package sortmerge implements Hadoop's sort-merge data path (§2.2) —
+// the baseline the paper's hash framework is measured against.
+//
+// Map side: output pairs accumulate in a buffer of size B_m tagged
+// with their partition; the buffer is sorted on the compound
+// (partition, key) — realized here by prefixing keys with a 2-byte
+// partition id — and written as a spill. If a chunk's output exceeds
+// the buffer (C·Km > B_m), external sorting kicks in: spills form a
+// multi-pass merge tree (the U2 term of Proposition 3.1) whose final
+// merge produces the single sorted, partitioned map output.
+//
+// Reduce side: sorted segments arrive from mappers into a shuffle
+// buffer of size B_r; when it fills, the buffered runs are merged
+// (applying the combine function if the query has one) and spilled.
+// A background process multi-pass-merges the on-disk files (the U4
+// term, and the blocking I/O bottleneck of Fig 2). After all map
+// output arrives, a final merge streams each key group to the reduce
+// function.
+package sortmerge
+
+import (
+	"encoding/binary"
+
+	"repro/internal/core"
+	"repro/internal/kvenc"
+	"repro/internal/merge"
+	"repro/internal/mr"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// prefixKey prepends the 2-byte big-endian partition id so one sort
+// orders by (partition, key), as Hadoop does.
+func prefixKey(part int, key []byte) []byte {
+	out := make([]byte, 2+len(key))
+	binary.BigEndian.PutUint16(out, uint16(part))
+	copy(out[2:], key)
+	return out
+}
+
+func splitPrefixed(pk []byte) (part int, key []byte) {
+	return int(binary.BigEndian.Uint16(pk)), pk[2:]
+}
+
+// charger adapts a task runtime to merge.CPUCharger.
+type charger struct{ rt *core.Runtime }
+
+// ChargeMerge implements merge.CPUCharger: one pass over physRecords.
+func (c charger) ChargeMerge(_ *sim.Proc, physRecords int64) {
+	c.rt.ChargeOps(c.rt.Model.CPUMergeRecord, physRecords)
+}
+
+// MapCollectorConfig sizes the map-side collector.
+type MapCollectorConfig struct {
+	Prefix      string // names spill files (unique per task)
+	Partitions  int    // R × nodes
+	Buffer      int64  // B_m physical bytes
+	MergeFactor int    // F
+	ReadSegment int64
+}
+
+// MapCollector is the sort-merge Map Output Buffer component.
+type MapCollector struct {
+	rt  *core.Runtime
+	cfg MapCollectorConfig
+	h1  interface {
+		Bucket(key []byte, n int) int
+	}
+	comb mr.Combiner
+
+	buf     []byte
+	bufRecs int64
+	tree    *merge.Tree
+
+	mapped  int64
+	emitted int64
+}
+
+// NewMapCollector creates the collector. If q implements mr.Combiner,
+// the combine function is applied to each sorted spill.
+func NewMapCollector(rt *core.Runtime, q mr.Query, cfg MapCollectorConfig) *MapCollector {
+	c := &MapCollector{rt: rt, cfg: cfg, h1: rt.Fam.Fn(1)}
+	if comb, ok := q.(mr.Combiner); ok {
+		c.comb = comb
+	}
+	return c
+}
+
+// Add collects one map output pair.
+func (c *MapCollector) Add(key, val []byte) {
+	c.mapped++
+	part := c.h1.Bucket(key, c.cfg.Partitions)
+	c.buf = kvenc.AppendPair(c.buf, prefixKey(part, key), val)
+	c.bufRecs++
+	if int64(len(c.buf)) >= c.cfg.Buffer {
+		c.spill()
+	}
+}
+
+// sortBuffer sorts (and combines) the current buffer into a run.
+func (c *MapCollector) sortBuffer() []byte {
+	sorted, n := kvenc.SortStream(c.buf)
+	c.rt.ChargeCPU(c.rt.Model.CPUSort(int64(n)))
+	if c.comb != nil {
+		sorted = c.combineRun(sorted)
+	}
+	c.buf = nil
+	c.bufRecs = 0
+	return sorted
+}
+
+// combineRun applies the combine function to each (partition, key)
+// group of a sorted run.
+func (c *MapCollector) combineRun(run []byte) []byte {
+	var out []byte
+	var records int64
+	kvenc.MergeGroups([][]byte{run}, func(pk []byte, vals kvenc.ValueIter) bool {
+		_, key := splitPrefixed(pk)
+		grp := &kvenc.CountingIter{Inner: vals}
+		c.comb.Combine(key, grp, func(v []byte) {
+			out = kvenc.AppendPair(out, pk, v)
+		})
+		records += grp.N
+		return true
+	})
+	c.rt.ChargeOps(c.rt.Model.CPUCombine, records)
+	return out
+}
+
+// spill externally sorts: the buffer becomes an on-disk sorted run in
+// the map-side multi-pass merge tree (this is the C·Km > B_m case).
+func (c *MapCollector) spill() {
+	if c.tree == nil {
+		c.tree = merge.NewTree(c.rt.Store, storage.MapSpill, c.cfg.Prefix, c.cfg.MergeFactor, c.cfg.ReadSegment)
+	}
+	c.tree.AddRun(c.rt.P, c.sortBuffer())
+	for c.tree.NeedsMerge() {
+		c.tree.MergeOnce(c.rt.P, charger{c.rt})
+	}
+}
+
+// Finish sorts/merges everything and returns one sorted segment per
+// partition plus (collected, emitted) record counts. SpilledBytes
+// reports the map-internal spill (U2).
+func (c *MapCollector) Finish() (parts [][][]byte, mapped, emitted int64) {
+	var final []byte
+	if c.tree == nil {
+		final = c.sortBuffer()
+	} else {
+		if len(c.buf) > 0 {
+			c.tree.AddRun(c.rt.P, c.sortBuffer())
+		}
+		c.tree.Complete(c.rt.P, charger{c.rt})
+		runs := c.tree.FinalRuns(c.rt.P)
+		final = kvenc.MergeStream(runs)
+		c.rt.ChargeOps(c.rt.Model.CPUMergeRecord, int64(kvenc.Count(final)))
+	}
+	parts = make([][][]byte, c.cfg.Partitions)
+	segs := make([][]byte, c.cfg.Partitions)
+	it := kvenc.NewIterator(final)
+	for {
+		pk, v, ok := it.Next()
+		if !ok {
+			break
+		}
+		part, key := splitPrefixed(pk)
+		segs[part] = kvenc.AppendPair(segs[part], key, v)
+		c.emitted++
+	}
+	for p, s := range segs {
+		if len(s) > 0 {
+			parts[p] = [][]byte{s}
+		}
+	}
+	return parts, c.mapped, c.emitted
+}
+
+// SpilledBytes returns the map-internal spill bytes (0 if the chunk's
+// output fit the buffer).
+func (c *MapCollector) SpilledBytes() int64 {
+	if c.tree == nil {
+		return 0
+	}
+	return c.tree.SpilledBytes()
+}
+
+// ReducerConfig sizes the reduce side.
+type ReducerConfig struct {
+	Prefix      string
+	Buffer      int64 // B_r physical bytes
+	MergeFactor int   // F
+	ReadSegment int64
+}
+
+// Reducer is the sort-merge reduce task: shuffle buffer, multi-pass
+// merge tree, and the final merge feeding the reduce function.
+type Reducer struct {
+	rt   *core.Runtime
+	q    mr.Query
+	comb mr.Combiner
+	cfg  ReducerConfig
+
+	tree     *merge.Tree
+	bufRuns  [][]byte
+	bufBytes int64
+
+	prepared  bool
+	finalRuns [][]byte
+
+	received int64
+}
+
+// NewReducer creates the reduce-side machinery. If q implements
+// mr.Combiner the combine function is applied whenever the shuffle
+// buffer is merged to a spill (§2.2).
+func NewReducer(rt *core.Runtime, q mr.Query, cfg ReducerConfig) *Reducer {
+	r := &Reducer{
+		rt:   rt,
+		q:    q,
+		cfg:  cfg,
+		tree: merge.NewTree(rt.Store, storage.ReduceSpill, cfg.Prefix, cfg.MergeFactor, cfg.ReadSegment),
+	}
+	if comb, ok := q.(mr.Combiner); ok {
+		r.comb = comb
+	}
+	return r
+}
+
+// Consume accepts one sorted segment fetched from a mapper. Hadoop
+// merges the shuffle buffer to disk when it reaches about two thirds
+// of its capacity (mapred.job.shuffle.merge.percent = 0.66), not when
+// completely full — that is what determines the number of initial
+// on-disk runs n in the paper's λ analysis.
+func (r *Reducer) Consume(run []byte) {
+	if len(run) == 0 {
+		return
+	}
+	r.received += int64(kvenc.Count(run))
+	r.bufRuns = append(r.bufRuns, run)
+	r.bufBytes += int64(len(run))
+	if r.bufBytes*3 >= r.cfg.Buffer*2 {
+		r.spillBuffer()
+	}
+}
+
+// spillBuffer merges the buffered sorted pieces (combining if
+// possible) and writes the result as one on-disk run.
+func (r *Reducer) spillBuffer() {
+	if len(r.bufRuns) == 0 {
+		return
+	}
+	var run []byte
+	var records int64
+	if r.comb != nil {
+		// Merge + combine in one pass; combined records count as
+		// progress (Definition 1's "combine function completed").
+		kvenc.MergeGroups(r.bufRuns, func(key []byte, vals kvenc.ValueIter) bool {
+			grp := &kvenc.CountingIter{Inner: vals}
+			r.comb.Combine(key, grp, func(v []byte) {
+				run = kvenc.AppendPair(run, key, v)
+			})
+			records += grp.N
+			return true
+		})
+		r.rt.FnRecords(records)
+		r.rt.ChargeOps(r.rt.Model.CPUCombine, records)
+	} else {
+		run = kvenc.MergeStream(r.bufRuns)
+		records = int64(kvenc.Count(run))
+	}
+	r.rt.ChargeOps(r.rt.Model.CPUMergeRecord, records)
+	r.tree.AddRun(r.rt.P, run)
+	r.bufRuns = nil
+	r.bufBytes = 0
+}
+
+// Tree exposes the on-disk merge tree so the engine's background
+// merger process can drive multi-pass merges while shuffling.
+func (r *Reducer) Tree() *merge.Tree { return r.tree }
+
+// Charger returns the CPU charger for background merges.
+func (r *Reducer) Charger() merge.CPUCharger { return charger{r.rt} }
+
+// SpilledBytes returns the reduce-internal spill (U4) written so far.
+func (r *Reducer) SpilledBytes() int64 { return r.tree.SpilledBytes() }
+
+// PrepareFinal completes the remaining multi-pass merge and reads the
+// final runs back — the blocking, I/O-heavy step the paper's timelines
+// attribute to the "merge" phase. It is separated from Finish so the
+// engine can meter the two phases independently.
+func (r *Reducer) PrepareFinal() {
+	if r.prepared {
+		return
+	}
+	r.prepared = true
+	r.tree.Complete(r.rt.P, charger{r.rt})
+	r.finalRuns = r.tree.FinalRuns(r.rt.P)
+	r.finalRuns = append(r.finalRuns, r.bufRuns...)
+	r.bufRuns = nil
+}
+
+// Finish performs the final merge that streams each key group to the
+// reduce function — only now does the reduce function run, which is
+// exactly the blocking behaviour the paper measures.
+func (r *Reducer) Finish(out mr.OutputWriter) {
+	r.PrepareFinal()
+	runs := r.finalRuns
+	r.finalRuns = nil
+	var records int64
+	batch := r.rt.Batch(r.rt.Model.CPUMergeRecord + r.rt.Model.CPUReduceRec)
+	kvenc.MergeGroups(runs, func(key []byte, vals kvenc.ValueIter) bool {
+		grp := &kvenc.CountingIter{Inner: vals}
+		r.q.Reduce(key, grp, out)
+		records += grp.N
+		batch.Add(grp.N)
+		return true
+	})
+	batch.Flush()
+	r.rt.FnRecords(records)
+}
+
+// Snapshot merges everything received so far — re-reading the on-disk
+// runs without consuming them — and applies the reduce function to the
+// partial data, emitting an approximate snapshot (the MapReduce Online
+// extension of §3.3(4)). Each call repeats the full merge, so frequent
+// snapshots inflate I/O and running time, which is the paper's
+// criticism of this approach to early answers.
+func (r *Reducer) Snapshot(out mr.OutputWriter) {
+	runs := r.tree.PeekRuns(r.rt.P)
+	runs = append(runs, r.bufRuns...)
+	var records int64
+	batch := r.rt.Batch(r.rt.Model.CPUMergeRecord + r.rt.Model.CPUReduceRec)
+	kvenc.MergeGroups(runs, func(key []byte, vals kvenc.ValueIter) bool {
+		grp := &kvenc.CountingIter{Inner: vals}
+		r.q.Reduce(key, grp, out)
+		records += grp.N
+		batch.Add(grp.N)
+		return true
+	})
+	batch.Flush()
+}

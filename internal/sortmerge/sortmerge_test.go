@@ -1,0 +1,349 @@
+package sortmerge
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/kvenc"
+	"repro/internal/mr"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// sumQuery counts per key; implements Query and Combiner.
+type sumQuery struct{}
+
+func (sumQuery) Name() string { return "sum" }
+func (sumQuery) Map(record []byte, emit func(k, v []byte)) {
+	emit(record, []byte("1"))
+}
+func sum(values kvenc.ValueIter) int64 {
+	var t int64
+	for {
+		v, ok := values.Next()
+		if !ok {
+			return t
+		}
+		n, _ := strconv.ParseInt(string(v), 10, 64)
+		t += n
+	}
+}
+func (sumQuery) Reduce(key []byte, values kvenc.ValueIter, out mr.OutputWriter) {
+	out.Emit(key, []byte(strconv.FormatInt(sum(values), 10)))
+}
+func (sumQuery) Combine(key []byte, values kvenc.ValueIter, emit func(v []byte)) {
+	emit([]byte(strconv.FormatInt(sum(values), 10)))
+}
+
+// rawOnly is the same query without a combine function.
+type rawOnly struct{}
+
+func (rawOnly) Name() string                         { return "raw" }
+func (rawOnly) Map(r []byte, emit func(k, v []byte)) { emit(r, []byte("1")) }
+func (rawOnly) Reduce(k []byte, v kvenc.ValueIter, out mr.OutputWriter) {
+	out.Emit(k, []byte(strconv.FormatInt(sum(v), 10)))
+}
+
+func runSim(t *testing.T, fn func(rt *core.Runtime)) {
+	t.Helper()
+	k := sim.NewKernel()
+	st := storage.NewStore(k, 0, cost.Default(1))
+	k.Spawn("task", func(p *sim.Proc) { fn(core.NopRuntime(p, st, cost.Default(1))) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapCollectorSingleSpill(t *testing.T) {
+	runSim(t, func(rt *core.Runtime) {
+		c := NewMapCollector(rt, rawOnly{}, MapCollectorConfig{
+			Prefix: "m0", Partitions: 4, Buffer: 1 << 20, MergeFactor: 10,
+		})
+		for i := 0; i < 5000; i++ {
+			c.Add([]byte(fmt.Sprintf("key%05d", i%700)), []byte("1"))
+		}
+		parts, mapped, emitted := c.Finish()
+		if mapped != 5000 || emitted != 5000 {
+			t.Fatalf("mapped=%d emitted=%d", mapped, emitted)
+		}
+		if c.SpilledBytes() != 0 {
+			t.Fatal("spilled despite fitting buffer")
+		}
+		// Each partition: exactly one sorted segment, disjoint keys.
+		seen := map[string]int{}
+		for pi, segs := range parts {
+			if len(segs) > 1 {
+				t.Fatalf("partition %d has %d segments", pi, len(segs))
+			}
+			for _, seg := range segs {
+				if !kvenc.IsSorted(seg) {
+					t.Fatalf("partition %d not sorted", pi)
+				}
+				it := kvenc.NewIterator(seg)
+				for {
+					k, _, ok := it.Next()
+					if !ok {
+						break
+					}
+					if p, dup := seen[string(k)]; dup && p != pi {
+						t.Fatalf("key %s in partitions %d and %d", k, p, pi)
+					}
+					seen[string(k)] = pi
+				}
+			}
+		}
+		if len(seen) != 700 {
+			t.Fatalf("distinct keys %d", len(seen))
+		}
+	})
+}
+
+func TestMapCollectorExternalSort(t *testing.T) {
+	runSim(t, func(rt *core.Runtime) {
+		c := NewMapCollector(rt, rawOnly{}, MapCollectorConfig{
+			Prefix: "m0", Partitions: 2, Buffer: 8 << 10, MergeFactor: 3,
+		})
+		for i := 0; i < 8000; i++ {
+			c.Add([]byte(fmt.Sprintf("key%06d", (i*7919)%5000)), []byte("1"))
+		}
+		parts, _, emitted := c.Finish()
+		if emitted != 8000 {
+			t.Fatalf("emitted=%d", emitted)
+		}
+		if c.SpilledBytes() == 0 {
+			t.Fatal("expected external sort spills (C·Km > Bm)")
+		}
+		total := 0
+		for _, segs := range parts {
+			for _, seg := range segs {
+				if !kvenc.IsSorted(seg) {
+					t.Fatal("final output not sorted")
+				}
+				total += kvenc.Count(seg)
+			}
+		}
+		if total != 8000 {
+			t.Fatalf("total=%d", total)
+		}
+	})
+}
+
+func TestMapCollectorCombine(t *testing.T) {
+	runSim(t, func(rt *core.Runtime) {
+		c := NewMapCollector(rt, sumQuery{}, MapCollectorConfig{
+			Prefix: "m0", Partitions: 2, Buffer: 1 << 20, MergeFactor: 10,
+		})
+		for i := 0; i < 6000; i++ {
+			c.Add([]byte(fmt.Sprintf("key%02d", i%20)), []byte("1"))
+		}
+		parts, _, emitted := c.Finish()
+		if emitted != 20 {
+			t.Fatalf("emitted=%d, want 20 combined records", emitted)
+		}
+		var total int64
+		for _, segs := range parts {
+			for _, seg := range segs {
+				it := kvenc.NewIterator(seg)
+				for {
+					_, v, ok := it.Next()
+					if !ok {
+						break
+					}
+					n, _ := strconv.ParseInt(string(v), 10, 64)
+					total += n
+				}
+			}
+		}
+		if total != 6000 {
+			t.Fatalf("combined total %d", total)
+		}
+	})
+}
+
+// sortedRun builds a sorted encoded run from keys.
+func sortedRun(keys []string) []byte {
+	var raw []byte
+	for _, k := range keys {
+		raw = kvenc.AppendPair(raw, []byte(k), []byte("1"))
+	}
+	out, _ := kvenc.SortStream(raw)
+	return out
+}
+
+type mapOut struct{ m map[string]int64 }
+
+func (o *mapOut) Emit(k, v []byte) {
+	n, _ := strconv.ParseInt(string(v), 10, 64)
+	o.m[string(k)] += n
+}
+
+func TestReducerCorrectnessWithSpills(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	want := map[string]int64{}
+	runSim(t, func(rt *core.Runtime) {
+		r := NewReducer(rt, rawOnly{}, ReducerConfig{
+			Prefix: "r0", Buffer: 4 << 10, MergeFactor: 3,
+		})
+		for seg := 0; seg < 60; seg++ {
+			var keys []string
+			for i := 0; i < 100; i++ {
+				k := fmt.Sprintf("key%04d", rng.Intn(900))
+				keys = append(keys, k)
+				want[k]++
+			}
+			r.Consume(sortedRun(keys))
+			for r.Tree().NeedsMerge() {
+				r.Tree().MergeOnce(rt.P, r.Charger())
+			}
+		}
+		if r.SpilledBytes() == 0 {
+			t.Fatal("expected shuffle-buffer spills")
+		}
+		out := &mapOut{m: map[string]int64{}}
+		r.Finish(out)
+		if len(out.m) != len(want) {
+			t.Fatalf("keys %d vs %d", len(out.m), len(want))
+		}
+		for k, w := range want {
+			if out.m[k] != w {
+				t.Fatalf("key %s: %d want %d", k, out.m[k], w)
+			}
+		}
+	})
+}
+
+func TestReducerCombinerShrinksSpill(t *testing.T) {
+	feed := func(q mr.Query) (spilled int64, result map[string]int64) {
+		runSim(t, func(rt *core.Runtime) {
+			r := NewReducer(rt, q, ReducerConfig{Prefix: "r0", Buffer: 4 << 10, MergeFactor: 4})
+			for seg := 0; seg < 50; seg++ {
+				var keys []string
+				for i := 0; i < 200; i++ {
+					keys = append(keys, fmt.Sprintf("key%01d", i%8)) // heavy duplication
+				}
+				r.Consume(sortedRun(keys))
+				for r.Tree().NeedsMerge() {
+					r.Tree().MergeOnce(rt.P, r.Charger())
+				}
+			}
+			out := &mapOut{m: map[string]int64{}}
+			r.Finish(out)
+			spilled, result = r.SpilledBytes(), out.m
+		})
+		return
+	}
+	spillComb, resComb := feed(sumQuery{})
+	spillRaw, resRaw := feed(rawOnly{})
+	if spillComb >= spillRaw {
+		t.Fatalf("combiner did not shrink spill: %d vs %d", spillComb, spillRaw)
+	}
+	for k, v := range resRaw {
+		if resComb[k] != v {
+			t.Fatalf("combiner changed answer for %s: %d vs %d", k, resComb[k], v)
+		}
+	}
+}
+
+func TestReducerNoReduceBeforeFinish(t *testing.T) {
+	// The defining SM property: the reduce function must not run until
+	// Finish (blocking behaviour).
+	runSim(t, func(rt *core.Runtime) {
+		calls := 0
+		rt.FnRecords = func(n int64) { calls += int(n) }
+		r := NewReducer(rt, rawOnly{}, ReducerConfig{Prefix: "r0", Buffer: 1 << 20, MergeFactor: 4})
+		for seg := 0; seg < 10; seg++ {
+			r.Consume(sortedRun([]string{"a", "b", "c"}))
+		}
+		if calls != 0 {
+			t.Fatal("reduce ran before finish without a combiner")
+		}
+		out := &mapOut{m: map[string]int64{}}
+		r.Finish(out)
+		if calls != 30 {
+			t.Fatalf("fn records %d, want 30", calls)
+		}
+	})
+}
+
+func TestMapCollectorPartitionStability(t *testing.T) {
+	// The same key must map to the same partition as in the hash
+	// collector (both use family function 1), so platforms are
+	// interchangeable reducer-side.
+	runSim(t, func(rt *core.Runtime) {
+		sm := NewMapCollector(rt, rawOnly{}, MapCollectorConfig{
+			Prefix: "a", Partitions: 8, Buffer: 1 << 20, MergeFactor: 10,
+		})
+		hash := core.NewHashMapCollector(rt, rawOnly{}, 8, 1<<20, false)
+		for i := 0; i < 500; i++ {
+			k := []byte(fmt.Sprintf("key%04d", i))
+			sm.Add(k, []byte("1"))
+			hash.Add(k, []byte("1"))
+		}
+		smParts, _, _ := sm.Finish()
+		hashParts, _, _ := hash.Finish()
+		partOf := func(parts [][][]byte) map[string]int {
+			m := map[string]int{}
+			for pi, segs := range parts {
+				for _, seg := range segs {
+					it := kvenc.NewIterator(seg)
+					for {
+						k, _, ok := it.Next()
+						if !ok {
+							break
+						}
+						m[string(k)] = pi
+					}
+				}
+			}
+			return m
+		}
+		a, b := partOf(smParts), partOf(hashParts)
+		for k, p := range a {
+			if b[k] != p {
+				t.Fatalf("key %s: SM partition %d, hash partition %d", k, p, b[k])
+			}
+		}
+	})
+}
+
+func TestSnapshotApproximatesWithoutDisturbing(t *testing.T) {
+	// §3.3(4): a snapshot merges everything received so far and applies
+	// reduce to partial data; the final answer afterwards is unchanged.
+	runSim(t, func(rt *core.Runtime) {
+		r := NewReducer(rt, rawOnly{}, ReducerConfig{Prefix: "r0", Buffer: 2 << 10, MergeFactor: 3})
+		want := map[string]int64{}
+		feed := func(n int) {
+			var keys []string
+			for i := 0; i < n; i++ {
+				k := fmt.Sprintf("key%02d", i%10)
+				keys = append(keys, k)
+				want[k]++
+			}
+			r.Consume(sortedRun(keys))
+			for r.Tree().NeedsMerge() {
+				r.Tree().MergeOnce(rt.P, r.Charger())
+			}
+		}
+		feed(100)
+		snap := &mapOut{m: map[string]int64{}}
+		r.Snapshot(snap)
+		if len(snap.m) != 10 {
+			t.Fatalf("snapshot keys %d", len(snap.m))
+		}
+		if snap.m["key00"] != 10 {
+			t.Fatalf("snapshot partial count %d, want 10", snap.m["key00"])
+		}
+		feed(100) // more data after the snapshot
+		out := &mapOut{m: map[string]int64{}}
+		r.Finish(out)
+		for k, w := range want {
+			if out.m[k] != w {
+				t.Fatalf("final %s=%d want %d (snapshot disturbed state)", k, out.m[k], w)
+			}
+		}
+	})
+}

@@ -1,0 +1,244 @@
+// Package storage simulates per-node storage devices.
+//
+// Every file (map spill, map output, reduce bucket/spill, job output)
+// is held in memory with real bytes, while reads and writes charge
+// virtual time on the node's disk-arm resource using the cost model
+// (seek + bytes/bandwidth) and increment per-I/O-class byte counters.
+// The five classes mirror Table 2 of the paper (U = U1+…+U5): map
+// input, map internal spills, map output, reduce internal spills, and
+// reduce output; shuffle disk reads are tracked separately since the
+// paper attributes them to the shuffle phase rather than U.
+//
+// A node owns an HDD and an SSD device (paper §2.3 hardware); the
+// placement policy decides which I/O classes go to which device, which
+// is how the Fig 2(d) "intermediate data on SSD" experiment is
+// expressed.
+package storage
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/sim"
+)
+
+// IOClass labels every byte moved through a disk.
+type IOClass int
+
+// I/O classes. The first five are the paper's U1..U5.
+const (
+	MapInput     IOClass = iota // U1: reading job input
+	MapSpill                    // U2: map-side external-sort spills
+	MapOutput                   // U3: final map output written for fault tolerance
+	ReduceSpill                 // U4: reduce-side merge/bucket spills
+	ReduceOutput                // U5: job output
+	ShuffleRead                 // shuffle fetches served from disk (2nd-wave reducers)
+	NumIOClasses
+)
+
+// String returns the class name.
+func (c IOClass) String() string {
+	switch c {
+	case MapInput:
+		return "map-input"
+	case MapSpill:
+		return "map-spill"
+	case MapOutput:
+		return "map-output"
+	case ReduceSpill:
+		return "reduce-spill"
+	case ReduceOutput:
+		return "reduce-output"
+	case ShuffleRead:
+		return "shuffle-read"
+	}
+	return "io?"
+}
+
+// Counters accumulates physical bytes and request counts per class.
+type Counters struct {
+	ReadBytes    [NumIOClasses]int64
+	WrittenBytes [NumIOClasses]int64
+	ReadReqs     [NumIOClasses]int64
+	WriteReqs    [NumIOClasses]int64
+}
+
+// Add accumulates o into c.
+func (c *Counters) Add(o *Counters) {
+	for i := 0; i < int(NumIOClasses); i++ {
+		c.ReadBytes[i] += o.ReadBytes[i]
+		c.WrittenBytes[i] += o.WrittenBytes[i]
+		c.ReadReqs[i] += o.ReadReqs[i]
+		c.WriteReqs[i] += o.WriteReqs[i]
+	}
+}
+
+// TotalBytes returns all bytes read plus written (the model's U, plus
+// shuffle reads).
+func (c *Counters) TotalBytes() int64 {
+	var t int64
+	for i := 0; i < int(NumIOClasses); i++ {
+		t += c.ReadBytes[i] + c.WrittenBytes[i]
+	}
+	return t
+}
+
+// TotalReqs returns the total number of I/O requests (the model's S,
+// plus shuffle reads).
+func (c *Counters) TotalReqs() int64 {
+	var t int64
+	for i := 0; i < int(NumIOClasses); i++ {
+		t += c.ReadReqs[i] + c.WriteReqs[i]
+	}
+	return t
+}
+
+// File is a named byte file on one device of one node.
+type File struct {
+	name string
+	dev  cost.Device
+	data []byte
+}
+
+// Name returns the file name.
+func (f *File) Name() string { return f.name }
+
+// Size returns the current physical size in bytes.
+func (f *File) Size() int64 { return int64(len(f.data)) }
+
+// Data returns the raw contents without charging I/O. Use only for
+// assertions and for memory-resident access paths that are explicitly
+// free (e.g. shuffle served from the mapper's memory).
+func (f *File) Data() []byte { return f.data }
+
+// Store is one node's storage: two devices sharing nothing, each a
+// capacity-1 sim resource (one outstanding request at a time, FIFO).
+type Store struct {
+	node     int
+	model    cost.Model
+	arms     [2]*sim.Resource
+	counters Counters
+	files    map[string]*File
+	// Intermediate decides the device for intermediate data (spills,
+	// map output). Input/output (HDFS) always use the HDD, as in the
+	// paper's SSD experiment.
+	Intermediate cost.Device
+	liveBytes    int64
+}
+
+// NewStore creates a node-local store.
+func NewStore(k *sim.Kernel, node int, model cost.Model) *Store {
+	return &Store{
+		node:  node,
+		model: model,
+		arms: [2]*sim.Resource{
+			sim.NewResource(k, fmt.Sprintf("n%d.hdd", node), 1),
+			sim.NewResource(k, fmt.Sprintf("n%d.ssd", node), 1),
+		},
+		files:        make(map[string]*File),
+		Intermediate: cost.HDD,
+	}
+}
+
+// Counters returns a pointer to the store's counters (live view).
+func (s *Store) Counters() *Counters { return &s.counters }
+
+// Arm returns the sim resource for the device (for metrics sampling).
+func (s *Store) Arm(dev cost.Device) *sim.Resource { return s.arms[dev] }
+
+// LiveBytes returns the physical bytes currently held in files.
+func (s *Store) LiveBytes() int64 { return s.liveBytes }
+
+// deviceFor maps an I/O class to a device under the placement policy.
+func (s *Store) deviceFor(class IOClass) cost.Device {
+	switch class {
+	case MapInput, ReduceOutput:
+		return cost.HDD
+	default:
+		return s.Intermediate
+	}
+}
+
+// Create makes an empty file for the given class's device. Names must
+// be unique per store.
+func (s *Store) Create(name string, class IOClass) *File {
+	if _, dup := s.files[name]; dup {
+		panic("storage: duplicate file " + name)
+	}
+	f := &File{name: name, dev: s.deviceFor(class)}
+	s.files[name] = f
+	return f
+}
+
+// Delete removes a file and frees its memory.
+func (s *Store) Delete(f *File) {
+	s.liveBytes -= int64(len(f.data))
+	delete(s.files, f.name)
+	f.data = nil
+}
+
+// Append writes data to the end of f as a single request, charging
+// seek + transfer on the device arm.
+func (s *Store) Append(p *sim.Proc, f *File, data []byte, class IOClass) {
+	s.charge(p, f.dev, int64(len(data)))
+	f.data = append(f.data, data...)
+	s.liveBytes += int64(len(data))
+	s.counters.WrittenBytes[class] += int64(len(data))
+	s.counters.WriteReqs[class]++
+}
+
+// ReadAt reads n bytes at off from f as a single request.
+func (s *Store) ReadAt(p *sim.Proc, f *File, off, n int64, class IOClass) []byte {
+	if off+n > int64(len(f.data)) {
+		panic(fmt.Sprintf("storage: read past EOF of %s (%d+%d > %d)", f.name, off, n, len(f.data)))
+	}
+	s.charge(p, f.dev, n)
+	s.counters.ReadBytes[class] += n
+	s.counters.ReadReqs[class]++
+	return f.data[off : off+n : off+n]
+}
+
+// ReadAll reads the whole file in requests of at most segment physical
+// bytes, modelling a bounded read buffer. segment ≤ 0 means one
+// request.
+func (s *Store) ReadAll(p *sim.Proc, f *File, segment int64, class IOClass) []byte {
+	size := int64(len(f.data))
+	if segment <= 0 || segment >= size {
+		if size == 0 {
+			return nil
+		}
+		return s.ReadAt(p, f, 0, size, class)
+	}
+	for off := int64(0); off < size; off += segment {
+		n := segment
+		if off+n > size {
+			n = size - off
+		}
+		s.ReadAt(p, f, off, n, class)
+	}
+	return f.data
+}
+
+// ChargeInputRead accounts for reading job input that is generated on
+// the fly rather than stored (the DFS synthesizes chunk bytes): it
+// charges the HDD arm and the MapInput counters without touching any
+// file.
+func (s *Store) ChargeInputRead(p *sim.Proc, physBytes int64) {
+	s.charge(p, cost.HDD, physBytes)
+	s.counters.ReadBytes[MapInput] += physBytes
+	s.counters.ReadReqs[MapInput]++
+}
+
+// ChargeOutputWrite accounts for job output written back to the DFS
+// without retaining the bytes.
+func (s *Store) ChargeOutputWrite(p *sim.Proc, physBytes int64) {
+	s.charge(p, cost.HDD, physBytes)
+	s.counters.WrittenBytes[ReduceOutput] += physBytes
+	s.counters.WriteReqs[ReduceOutput]++
+}
+
+// charge occupies the device arm for seek + transfer time.
+func (s *Store) charge(p *sim.Proc, dev cost.Device, physBytes int64) {
+	d := s.model.SeekTime(dev) + s.model.TransferTime(dev, physBytes)
+	p.Use(s.arms[dev], 1, d)
+}

@@ -1,0 +1,200 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/sim"
+)
+
+// run executes fn inside a one-process simulation and returns the
+// total virtual time.
+func run(t *testing.T, model cost.Model, fn func(p *sim.Proc, s *Store)) time.Duration {
+	t.Helper()
+	k := sim.NewKernel()
+	s := NewStore(k, 0, model)
+	k.Spawn("t", func(p *sim.Proc) { fn(p, s) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return k.NowDur()
+}
+
+func TestAppendReadRoundTrip(t *testing.T) {
+	m := cost.Default(1)
+	run(t, m, func(p *sim.Proc, s *Store) {
+		f := s.Create("spill-1", ReduceSpill)
+		s.Append(p, f, []byte("hello "), ReduceSpill)
+		s.Append(p, f, []byte("world"), ReduceSpill)
+		if f.Size() != 11 {
+			t.Fatalf("size=%d", f.Size())
+		}
+		got := s.ReadAt(p, f, 0, 11, ReduceSpill)
+		if !bytes.Equal(got, []byte("hello world")) {
+			t.Fatalf("got %q", got)
+		}
+	})
+}
+
+func TestIOTimeCharged(t *testing.T) {
+	m := cost.Default(1)
+	d := run(t, m, func(p *sim.Proc, s *Store) {
+		f := s.Create("f", MapSpill)
+		s.Append(p, f, make([]byte, 80*1e6), MapSpill) // 80MB at 80MB/s = 1s + 4ms seek
+	})
+	want := time.Second + 4*time.Millisecond
+	if d != want {
+		t.Fatalf("charged %v want %v", d, want)
+	}
+}
+
+func TestCountersPerClass(t *testing.T) {
+	m := cost.Default(1)
+	run(t, m, func(p *sim.Proc, s *Store) {
+		f := s.Create("f", MapSpill)
+		s.Append(p, f, make([]byte, 100), MapSpill)
+		s.ReadAt(p, f, 0, 40, MapSpill)
+		c := s.Counters()
+		if c.WrittenBytes[MapSpill] != 100 || c.ReadBytes[MapSpill] != 40 {
+			t.Fatalf("bytes: %+v", c)
+		}
+		if c.WriteReqs[MapSpill] != 1 || c.ReadReqs[MapSpill] != 1 {
+			t.Fatalf("reqs: %+v", c)
+		}
+		if c.TotalBytes() != 140 || c.TotalReqs() != 2 {
+			t.Fatalf("totals: %d/%d", c.TotalBytes(), c.TotalReqs())
+		}
+	})
+}
+
+func TestReadAllSegments(t *testing.T) {
+	m := cost.Default(1)
+	run(t, m, func(p *sim.Proc, s *Store) {
+		f := s.Create("f", ReduceSpill)
+		s.Append(p, f, make([]byte, 1000), ReduceSpill)
+		s.ReadAll(p, f, 300, ReduceSpill)
+		if got := s.Counters().ReadReqs[ReduceSpill]; got != 4 {
+			t.Fatalf("segmented read made %d requests, want 4", got)
+		}
+	})
+}
+
+func TestIntermediateOnSSD(t *testing.T) {
+	// The Fig 2(d) configuration: intermediates on SSD must be charged
+	// on the SSD arm and be faster, while input stays on HDD.
+	m := cost.Default(1)
+	k := sim.NewKernel()
+	s := NewStore(k, 0, m)
+	s.Intermediate = cost.SSD
+	k.Spawn("t", func(p *sim.Proc) {
+		f := s.Create("spill", ReduceSpill)
+		s.Append(p, f, make([]byte, 1e6), ReduceSpill)
+		if s.Arm(cost.SSD).BusyIntegral() == 0 {
+			t.Error("SSD arm unused")
+		}
+		if s.Arm(cost.HDD).BusyIntegral() != 0 {
+			t.Error("HDD arm used for intermediate data")
+		}
+		s.ChargeInputRead(p, 1e6)
+		if s.Arm(cost.HDD).BusyIntegral() == 0 {
+			t.Error("input read must stay on HDD")
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiskContentionSerializes(t *testing.T) {
+	m := cost.Default(1)
+	k := sim.NewKernel()
+	s := NewStore(k, 0, m)
+	var finish []time.Duration
+	for i := 0; i < 2; i++ {
+		name := "w" + string(rune('0'+i))
+		k.Spawn(name, func(p *sim.Proc) {
+			f := s.Create(name, MapSpill)
+			s.Append(p, f, make([]byte, 80*1e6), MapSpill)
+			finish = append(finish, k.NowDur())
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if finish[1]-finish[0] < time.Second {
+		t.Fatalf("writes not serialized: %v", finish)
+	}
+}
+
+func TestDeleteFreesMemory(t *testing.T) {
+	m := cost.Default(1)
+	run(t, m, func(p *sim.Proc, s *Store) {
+		f := s.Create("f", MapOutput)
+		s.Append(p, f, make([]byte, 500), MapOutput)
+		if s.LiveBytes() != 500 {
+			t.Fatalf("live=%d", s.LiveBytes())
+		}
+		s.Delete(f)
+		if s.LiveBytes() != 0 {
+			t.Fatalf("live after delete=%d", s.LiveBytes())
+		}
+	})
+}
+
+func TestDuplicateCreatePanics(t *testing.T) {
+	m := cost.Default(1)
+	k := sim.NewKernel()
+	s := NewStore(k, 0, m)
+	k.Spawn("t", func(p *sim.Proc) {
+		s.Create("f", MapSpill)
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic on duplicate create")
+			}
+		}()
+		s.Create("f", MapSpill)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadPastEOFPanics(t *testing.T) {
+	m := cost.Default(1)
+	k := sim.NewKernel()
+	s := NewStore(k, 0, m)
+	k.Spawn("t", func(p *sim.Proc) {
+		f := s.Create("f", MapSpill)
+		s.Append(p, f, []byte("abc"), MapSpill)
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic reading past EOF")
+			}
+		}()
+		s.ReadAt(p, f, 0, 4, MapSpill)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountersAdd(t *testing.T) {
+	var a, b Counters
+	a.ReadBytes[MapInput] = 10
+	b.ReadBytes[MapInput] = 5
+	b.WriteReqs[ReduceSpill] = 2
+	a.Add(&b)
+	if a.ReadBytes[MapInput] != 15 || a.WriteReqs[ReduceSpill] != 2 {
+		t.Fatalf("%+v", a)
+	}
+}
+
+func TestIOClassStrings(t *testing.T) {
+	for c := IOClass(0); c < NumIOClasses; c++ {
+		if c.String() == "io?" {
+			t.Fatalf("class %d has no name", c)
+		}
+	}
+}

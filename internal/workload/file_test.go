@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFileInputSplitsAtRecordBoundaries(t *testing.T) {
+	var data []byte
+	for i := 0; i < 100; i++ {
+		data = append(data, []byte(strings.Repeat("x", 20)+"\n")...)
+	}
+	in := NewBytesInput("t", data, 64)
+	if in.NumChunks() < 10 {
+		t.Fatalf("chunks=%d", in.NumChunks())
+	}
+	var rejoined []byte
+	for i := 0; i < in.NumChunks(); i++ {
+		chunk := in.ChunkBytes(i)
+		if len(chunk) == 0 {
+			t.Fatalf("empty chunk %d", i)
+		}
+		if chunk[len(chunk)-1] != '\n' {
+			t.Fatalf("chunk %d does not end at a record boundary", i)
+		}
+		rejoined = append(rejoined, chunk...)
+	}
+	if !bytes.Equal(rejoined, data) {
+		t.Fatal("chunks do not reassemble the file")
+	}
+}
+
+func TestFileInputFromDisk(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "clicks.log")
+	content := []byte("a 1\nb 2\nc 3\n")
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	in, err := NewFileInput(path, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.TotalBytes() != int64(len(content)) {
+		t.Fatalf("size %d", in.TotalBytes())
+	}
+	if in.Name() != path {
+		t.Fatalf("name %q", in.Name())
+	}
+}
+
+func TestFileInputMissingFile(t *testing.T) {
+	if _, err := NewFileInput("/nonexistent/file.log", 64); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestFileInputNoTrailingNewline(t *testing.T) {
+	in := NewBytesInput("t", []byte("aaa\nbbb\nccc"), 4)
+	var rejoined []byte
+	for i := 0; i < in.NumChunks(); i++ {
+		rejoined = append(rejoined, in.ChunkBytes(i)...)
+	}
+	if string(rejoined) != "aaa\nbbb\nccc" {
+		t.Fatalf("rejoined %q", rejoined)
+	}
+}
+
+func TestFileInputBounds(t *testing.T) {
+	in := NewBytesInput("t", []byte("a\n"), 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	in.ChunkBytes(1)
+}

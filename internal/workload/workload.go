@@ -1,0 +1,258 @@
+// Package workload synthesizes the paper's two evaluation datasets at
+// configurable scale:
+//
+//   - a click stream standing in for the WorldCup'98 log (§2.3, §6):
+//     Zipf-distributed user ids and URLs, monotonically increasing
+//     timestamps with bounded jitter — the properties sessionization,
+//     click counting, frequent-user identification and page-frequency
+//     counting depend on;
+//   - a document corpus standing in for GOV2 (§6): lines of
+//     Zipf-distributed words for trigram counting, with a much flatter
+//     key distribution than user ids (the property behind the paper's
+//     Fig 7(f) observation that DINC ≈ INC for trigrams).
+//
+// Generators implement dfs.Input: chunk i is synthesized on demand
+// from (seed, i), so a run never materializes the whole dataset and
+// two runs always see identical bytes.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// ClickSpec configures a synthetic click stream.
+type ClickSpec struct {
+	PhysBytes int64 // total physical bytes to generate
+	ChunkPhys int64 // physical chunk size (the scaled C)
+	Seed      int64
+
+	Users    int     // distinct user pool size
+	UserSkew float64 // Zipf s for users (>1; higher = more skew)
+	UserV    float64 // Zipf v offset: higher softens the head (0 = 256)
+	URLs     int     // distinct URL pool size
+	URLSkew  float64 // Zipf s for URLs
+	URLV     float64 // Zipf v offset for URLs (0 = 16)
+
+	// Duration is the logical time span of the stream; timestamps
+	// advance uniformly across it. It controls how many 5-minute
+	// session gaps occur.
+	Duration time.Duration
+	// Jitter bounds timestamp disorder (arrival time vs event time).
+	Jitter time.Duration
+}
+
+// DefaultClickSpec returns a spec with WorldCup-like shape for the
+// given physical size and chunk size.
+func DefaultClickSpec(physBytes, chunkPhys int64, seed int64) ClickSpec {
+	return ClickSpec{
+		PhysBytes: physBytes,
+		ChunkPhys: chunkPhys,
+		Seed:      seed,
+		Users:     200_000,
+		UserSkew:  1.2,
+		UserV:     256,
+		URLs:      20_000,
+		URLSkew:   1.3,
+		URLV:      16,
+		Duration:  24 * time.Hour,
+		Jitter:    2 * time.Second,
+	}
+}
+
+// ClickStream is a dfs.Input of click records. A record is a single
+// ~100-byte line:
+//
+//	ts<TAB>user<TAB>url<TAB>status<TAB>bytes<TAB>agent-padding
+//
+// with ts in fixed-width epoch milliseconds so string order is time
+// order.
+type ClickStream struct {
+	spec      ClickSpec
+	recBytes  int
+	recsChunk int
+	totalRecs int64
+	chunks    int
+}
+
+const clickPad = "Mozilla/4.0-compatible-padpadpad"
+
+// NewClickStream builds the generator for a spec.
+func NewClickStream(spec ClickSpec) *ClickStream {
+	if spec.PhysBytes <= 0 || spec.ChunkPhys <= 0 {
+		panic("workload: need positive sizes")
+	}
+	if spec.Users < 1 || spec.URLs < 1 {
+		panic("workload: need positive pools")
+	}
+	c := &ClickStream{spec: spec}
+	c.recBytes = len(c.formatRecord(0, 0, 0, 200, 1234))
+	c.recsChunk = int(spec.ChunkPhys) / c.recBytes
+	if c.recsChunk < 1 {
+		c.recsChunk = 1
+	}
+	c.totalRecs = spec.PhysBytes / int64(c.recBytes)
+	if c.totalRecs < 1 {
+		c.totalRecs = 1
+	}
+	c.chunks = int((c.totalRecs + int64(c.recsChunk) - 1) / int64(c.recsChunk))
+	return c
+}
+
+// Name implements dfs.Input.
+func (c *ClickStream) Name() string { return "clickstream" }
+
+// NumChunks implements dfs.Input.
+func (c *ClickStream) NumChunks() int { return c.chunks }
+
+// RecordBytes returns the fixed physical record size.
+func (c *ClickStream) RecordBytes() int { return c.recBytes }
+
+// TotalRecords returns the number of records in the stream.
+func (c *ClickStream) TotalRecords() int64 { return c.totalRecs }
+
+// Users returns the user pool size.
+func (c *ClickStream) Users() int { return c.spec.Users }
+
+func (c *ClickStream) formatRecord(tsMillis int64, user, url, status, size int) string {
+	return fmt.Sprintf("%013d\tu%07d\t/p%06d.html\t%03d\t%04d\t%s\n",
+		tsMillis, user, url, status, size, clickPad)
+}
+
+// ChunkBytes implements dfs.Input.
+func (c *ClickStream) ChunkBytes(i int) []byte {
+	if i < 0 || i >= c.chunks {
+		panic(fmt.Sprintf("workload: chunk %d out of range", i))
+	}
+	rng := rand.New(rand.NewSource(c.spec.Seed ^ int64(i+1)*0x5851f42d4c957f2d))
+	uv, pv := c.spec.UserV, c.spec.URLV
+	if uv <= 0 {
+		uv = 256
+	}
+	if pv <= 0 {
+		pv = 16
+	}
+	uz := rand.NewZipf(rng, c.spec.UserSkew, uv, uint64(c.spec.Users-1))
+	pz := rand.NewZipf(rng, c.spec.URLSkew, pv, uint64(c.spec.URLs-1))
+	first := int64(i) * int64(c.recsChunk)
+	n := int64(c.recsChunk)
+	if first+n > c.totalRecs {
+		n = c.totalRecs - first
+	}
+	out := make([]byte, 0, int(n)*c.recBytes)
+	perRec := float64(c.spec.Duration.Milliseconds()) / float64(c.totalRecs)
+	for g := first; g < first+n; g++ {
+		ts := int64(float64(g) * perRec)
+		if c.spec.Jitter > 0 {
+			ts += rng.Int63n(c.spec.Jitter.Milliseconds()*2+1) - c.spec.Jitter.Milliseconds()
+			if ts < 0 {
+				ts = 0
+			}
+		}
+		user := int(uz.Uint64())
+		url := int(pz.Uint64())
+		status := 200
+		if rng.Intn(50) == 0 {
+			status = 404
+		}
+		out = append(out, c.formatRecord(ts, user, url, status, 100+rng.Intn(9900))...)
+	}
+	return out
+}
+
+// DocSpec configures a synthetic document corpus.
+type DocSpec struct {
+	PhysBytes int64
+	ChunkPhys int64
+	Seed      int64
+
+	Vocab    int     // vocabulary size
+	WordSkew float64 // Zipf s for words (close to 1 = flat)
+	WordV    float64 // Zipf v offset: higher softens the head (0 = 64)
+	DocWords int     // words per document line
+}
+
+// DefaultDocSpec returns a GOV2-like corpus spec.
+func DefaultDocSpec(physBytes, chunkPhys int64, seed int64) DocSpec {
+	return DocSpec{
+		PhysBytes: physBytes,
+		ChunkPhys: chunkPhys,
+		Seed:      seed,
+		Vocab:     50_000,
+		WordSkew:  1.05,
+		DocWords:  12,
+	}
+}
+
+// DocCorpus is a dfs.Input of document lines ("w000123 w004567 …").
+type DocCorpus struct {
+	spec      DocSpec
+	recBytes  int
+	recsChunk int
+	totalRecs int64
+	chunks    int
+}
+
+// NewDocCorpus builds the generator for a spec.
+func NewDocCorpus(spec DocSpec) *DocCorpus {
+	if spec.PhysBytes <= 0 || spec.ChunkPhys <= 0 {
+		panic("workload: need positive sizes")
+	}
+	if spec.Vocab < 3 || spec.DocWords < 3 {
+		panic("workload: need ≥3 vocabulary words and words per doc")
+	}
+	d := &DocCorpus{spec: spec}
+	d.recBytes = spec.DocWords*8 + 1 // "w%06d " per word + newline
+	d.recsChunk = int(spec.ChunkPhys) / d.recBytes
+	if d.recsChunk < 1 {
+		d.recsChunk = 1
+	}
+	d.totalRecs = spec.PhysBytes / int64(d.recBytes)
+	if d.totalRecs < 1 {
+		d.totalRecs = 1
+	}
+	d.chunks = int((d.totalRecs + int64(d.recsChunk) - 1) / int64(d.recsChunk))
+	return d
+}
+
+// Name implements dfs.Input.
+func (d *DocCorpus) Name() string { return "doccorpus" }
+
+// NumChunks implements dfs.Input.
+func (d *DocCorpus) NumChunks() int { return d.chunks }
+
+// RecordBytes returns the fixed physical record size.
+func (d *DocCorpus) RecordBytes() int { return d.recBytes }
+
+// TotalRecords returns the number of document lines.
+func (d *DocCorpus) TotalRecords() int64 { return d.totalRecs }
+
+// ChunkBytes implements dfs.Input.
+func (d *DocCorpus) ChunkBytes(i int) []byte {
+	if i < 0 || i >= d.chunks {
+		panic(fmt.Sprintf("workload: chunk %d out of range", i))
+	}
+	rng := rand.New(rand.NewSource(d.spec.Seed ^ int64(i+1)*0x2545f4914f6cdd1d))
+	wv := d.spec.WordV
+	if wv <= 0 {
+		wv = 64
+	}
+	wz := rand.NewZipf(rng, d.spec.WordSkew, wv, uint64(d.spec.Vocab-1))
+	first := int64(i) * int64(d.recsChunk)
+	n := int64(d.recsChunk)
+	if first+n > d.totalRecs {
+		n = d.totalRecs - first
+	}
+	out := make([]byte, 0, int(n)*d.recBytes)
+	for g := int64(0); g < n; g++ {
+		for w := 0; w < d.spec.DocWords; w++ {
+			sep := byte(' ')
+			if w == d.spec.DocWords-1 {
+				sep = '\n'
+			}
+			out = append(out, fmt.Sprintf("w%06d%c", wz.Uint64(), sep)...)
+		}
+	}
+	return out
+}

@@ -1,0 +1,196 @@
+// Package onepass is a platform for scalable one-pass analytics using
+// MapReduce — a Go reproduction of Li, Mazur, Diao, McGregor and
+// Shenoy (SIGMOD 2011).
+//
+// The package runs MapReduce queries over a deterministic simulated
+// cluster with five interchangeable data paths: Hadoop's sort-merge
+// baseline, MapReduce Online-style pipelining (HOP), and the paper's
+// three hash techniques — MR-hash (hybrid hash group-by), INC-hash
+// (incremental key-state processing) and DINC-hash (frequent-key
+// monitoring with in-memory processing of hot keys). Real records flow
+// through real implementations of every component; only time is
+// virtual, charged by a calibrated cost model so that a laptop
+// reproduces the schedules, spill volumes, and progress curves of the
+// paper's 10-node × hundreds-of-GB experiments.
+//
+// Quick start:
+//
+//	m := onepass.DefaultModel(1.0 / 256)             // 1GB stands for 256GB
+//	input := onepass.SyntheticClickStream(onepass.ClickStreamSpec{
+//	    PhysBytes: m.ScaleBytes(236e9),              // the paper's 236GB
+//	    ChunkPhys: m.ScaleBytes(64e6),               // 64MB HDFS chunks
+//	    Seed:      42,
+//	    Users:     100_000, UserSkew: 1.2,
+//	    URLs:      20_000, URLSkew: 1.3,
+//	    Duration:  24 * time.Hour, Jitter: 2 * time.Second,
+//	})
+//	rep, err := onepass.Run(onepass.Job{
+//	    Query:    onepass.Sessionization(5*time.Minute, 512, 5*time.Second),
+//	    Input:    input,
+//	    Platform: onepass.DINCHash,
+//	    Cluster:  onepass.PaperCluster(m),
+//	})
+//
+// The report carries running time, per-phase CPU, the paper's five
+// I/O classes (input, map spill, shuffle, reduce spill, output), the
+// Definition 1 map/reduce progress curves, task timelines, and CPU
+// utilization / iowait series.
+package onepass
+
+import (
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/dfs"
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/mr"
+	"repro/internal/queries"
+	"repro/internal/workload"
+)
+
+// Programming model (see internal/mr for full documentation).
+type (
+	// Query is a MapReduce program: Map plus Reduce.
+	Query = mr.Query
+	// Combiner marks queries admitting partial aggregation.
+	Combiner = mr.Combiner
+	// Incremental marks queries supporting init/cb/fn state processing.
+	Incremental = mr.Incremental
+	// EarlyEmitter marks incremental queries with early answers.
+	EarlyEmitter = mr.EarlyEmitter
+	// OutputWriter receives job output records.
+	OutputWriter = mr.OutputWriter
+	// Hints carries workload estimates used to size hash buckets.
+	Hints = mr.Hints
+	// Input is a chunked input dataset (deterministic per chunk).
+	Input = dfs.Input
+)
+
+// Execution (see internal/engine).
+type (
+	// Platform selects the data path.
+	Platform = engine.Platform
+	// Cluster describes the simulated cluster and Hadoop parameters.
+	Cluster = engine.ClusterConfig
+	// Job is a complete job submission.
+	Job = engine.JobSpec
+	// Report is the result of a run.
+	Report = engine.Report
+	// ProgressPoint is one point of the Definition 1 progress curve.
+	ProgressPoint = metrics.ProgressPoint
+	// Sample is one raw metrics sample (timeline, CPU, iowait).
+	Sample = metrics.Sample
+	// CostModel converts work into virtual time at a chosen scale.
+	CostModel = cost.Model
+)
+
+// Platforms.
+const (
+	// SortMerge is Hadoop's sort-merge implementation (§2.2); stock
+	// versus optimized Hadoop is a parameter choice on the Cluster.
+	SortMerge = engine.SortMerge
+	// HOP is MapReduce Online-style pipelining (§2.2, §3.3).
+	HOP = engine.HOP
+	// MRHash is the basic hash technique (§4.1).
+	MRHash = engine.MRHash
+	// INCHash is the incremental hash technique (§4.2).
+	INCHash = engine.INCHash
+	// DINCHash is the dynamic incremental hash technique (§4.3).
+	DINCHash = engine.DINCHash
+)
+
+// Workload generators (see internal/workload).
+type (
+	// ClickStreamSpec configures the synthetic WorldCup-like click
+	// stream.
+	ClickStreamSpec = workload.ClickSpec
+	// DocCorpusSpec configures the synthetic GOV2-like corpus.
+	DocCorpusSpec = workload.DocSpec
+)
+
+// Analytical model of Hadoop (§3; see internal/model).
+type (
+	// ModelWorkload is (D, Km, Kr).
+	ModelWorkload = model.Workload
+	// ModelHardware is (N, Bm, Br).
+	ModelHardware = model.Hardware
+	// ModelParams are the tunables (R, C, F).
+	ModelParams = model.Params
+)
+
+// Run executes a job to completion on the simulated cluster.
+func Run(job Job) (*Report, error) { return engine.Run(job) }
+
+// DefaultModel returns the calibrated cost model at the given scale
+// (physical bytes per logical byte; 1.0/256 means 1GB stands in for
+// 256GB).
+func DefaultModel(scale float64) CostModel { return cost.Default(scale) }
+
+// PaperCluster returns the paper's evaluation cluster (§2.3) under the
+// given cost model: 10 nodes × 4 cores, 4 map + 4 reduce slots, R=4,
+// 140MB map buffers, 500MB reduce buffers.
+func PaperCluster(m CostModel) Cluster { return engine.PaperCluster(m) }
+
+// SyntheticClickStream builds the WorldCup-like click stream input.
+func SyntheticClickStream(spec ClickStreamSpec) *workload.ClickStream {
+	return workload.NewClickStream(spec)
+}
+
+// SyntheticDocCorpus builds the GOV2-like document corpus input.
+func SyntheticDocCorpus(spec DocCorpusSpec) *workload.DocCorpus {
+	return workload.NewDocCorpus(spec)
+}
+
+// Sessionization returns the click-session splitting query (§2.3):
+// gap of inactivity that closes a session, fixed per-user state buffer
+// size in bytes, and the tolerated timestamp disorder.
+func Sessionization(gap time.Duration, stateBytes int, disorder time.Duration) Query {
+	return queries.NewSessionization(gap, stateBytes, disorder)
+}
+
+// ClickCount returns the clicks-per-user query.
+func ClickCount() Query { return queries.NewClickCount() }
+
+// FrequentUsers returns the frequent-user identification query: users
+// with at least threshold clicks, emitted as soon as known (§6).
+func FrequentUsers(threshold int64) Query { return queries.NewFrequentUsers(threshold) }
+
+// PageFrequency returns the visits-per-URL query.
+func PageFrequency() Query { return queries.NewPageFrequency() }
+
+// TrigramCount returns the word-trigram counting query: trigrams
+// appearing at least threshold times (§6).
+func TrigramCount(threshold int64) Query { return queries.NewTrigramCount(threshold) }
+
+// ModelTimeCost evaluates the analytical model's time measurement T
+// (Eq. 4) with the paper's §3.2 constants.
+func ModelTimeCost(w ModelWorkload, h ModelHardware, p ModelParams) float64 {
+	return model.TimeCost(w, h, p, model.PaperConstants())
+}
+
+// ModelOptimize picks the (C, F) minimizing T over candidate sets.
+func ModelOptimize(w ModelWorkload, h ModelHardware, r int, cs []float64, fs []int) ModelParams {
+	return model.Optimize(w, h, r, cs, fs, model.PaperConstants())
+}
+
+// WindowCount returns the tumbling-window URL-visit counting query —
+// the stream-processing extension of the platform (§8): each window's
+// counts are emitted as soon as the watermark passes the window end,
+// with late data reported as supplementary records.
+func WindowCount(window, disorder time.Duration) Query {
+	return queries.NewWindowCount(window, disorder)
+}
+
+// FileInput loads a real newline-delimited log file as job input,
+// split into ~chunkBytes chunks at record boundaries — for running the
+// platform over actual traces instead of the synthetic generators.
+func FileInput(path string, chunkBytes int64) (Input, error) {
+	return workload.NewFileInput(path, chunkBytes)
+}
+
+// BytesInput wraps an in-memory record buffer as job input.
+func BytesInput(name string, data []byte, chunkBytes int64) Input {
+	return workload.NewBytesInput(name, data, chunkBytes)
+}

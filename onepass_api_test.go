@@ -1,0 +1,136 @@
+package onepass_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// smallJob builds a tiny but complete job against the public API.
+func smallJob(platform onepass.Platform) onepass.Job {
+	m := onepass.DefaultModel(1.0 / 8192)
+	return onepass.Job{
+		Query: onepass.ClickCount(),
+		Input: onepass.SyntheticClickStream(onepass.ClickStreamSpec{
+			PhysBytes: m.ScaleBytes(4e9),
+			ChunkPhys: m.ScaleBytes(64e6),
+			Seed:      9,
+			Users:     2000,
+			UserSkew:  1.2,
+			URLs:      500,
+			URLSkew:   1.3,
+			Duration:  2 * time.Hour,
+			Jitter:    time.Second,
+		}),
+		Platform: platform,
+		Cluster:  onepass.PaperCluster(m),
+		Hints:    onepass.Hints{Km: 0.1, DistinctKeys: 2000},
+	}
+}
+
+func TestPublicAPIRunsEveryPlatform(t *testing.T) {
+	var first int64
+	for _, pl := range []onepass.Platform{
+		onepass.SortMerge, onepass.HOP, onepass.MRHash, onepass.INCHash, onepass.DINCHash,
+	} {
+		rep, err := onepass.Run(smallJob(pl))
+		if err != nil {
+			t.Fatalf("%v: %v", pl, err)
+		}
+		if rep.OutputRecords == 0 {
+			t.Fatalf("%v: no output", pl)
+		}
+		if first == 0 {
+			first = rep.OutputRecords
+		} else if rep.OutputRecords != first {
+			t.Fatalf("%v: %d answers, want %d", pl, rep.OutputRecords, first)
+		}
+	}
+}
+
+func TestPublicAPIModelHelpers(t *testing.T) {
+	w := onepass.ModelWorkload{D: 97e9, Km: 1, Kr: 1}
+	h := onepass.ModelHardware{N: 10, Bm: 140e6, Br: 260e6}
+	best := onepass.ModelOptimize(w, h, 4, []float64{32e6, 64e6, 128e6}, []int{4, 16})
+	if best.F != 16 {
+		t.Fatalf("optimizer picked F=%d, want one-pass 16", best.F)
+	}
+	if onepass.ModelTimeCost(w, h, best) <= 0 {
+		t.Fatal("non-positive model cost")
+	}
+}
+
+func TestPublicAPIQueriesConstructible(t *testing.T) {
+	for _, q := range []onepass.Query{
+		onepass.Sessionization(5*time.Minute, 512, time.Second),
+		onepass.ClickCount(),
+		onepass.FrequentUsers(50),
+		onepass.PageFrequency(),
+		onepass.TrigramCount(1000),
+		onepass.WindowCount(time.Hour, time.Second),
+	} {
+		if q.Name() == "" {
+			t.Fatal("query without a name")
+		}
+	}
+}
+
+func TestPublicAPIProgressShape(t *testing.T) {
+	rep, err := onepass.Run(smallJob(onepass.INCHash))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Progress) == 0 {
+		t.Fatal("no progress curve")
+	}
+	last := rep.Progress[len(rep.Progress)-1]
+	if last.Map != 1 || last.Reduce != 1 {
+		t.Fatalf("job did not end complete: %+v", last)
+	}
+}
+
+func TestFileInputEndToEnd(t *testing.T) {
+	// Run a job over a real on-disk log through the public API: the
+	// adoption path for users with actual traces.
+	m := onepass.DefaultModel(1.0 / 8192)
+	gen := onepass.SyntheticClickStream(onepass.ClickStreamSpec{
+		PhysBytes: 64 << 10, ChunkPhys: 8 << 10, Seed: 3,
+		Users: 500, UserSkew: 1.2, URLs: 200, URLSkew: 1.3,
+		Duration: time.Hour, Jitter: time.Second,
+	})
+	var raw []byte
+	for i := 0; i < gen.NumChunks(); i++ {
+		raw = append(raw, gen.ChunkBytes(i)...)
+	}
+	path := filepath.Join(t.TempDir(), "clicks.log")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	input, err := onepass.FileInput(path, 8<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromFile, err := onepass.Run(onepass.Job{
+		Query: onepass.ClickCount(), Input: input,
+		Platform: onepass.INCHash, Cluster: onepass.PaperCluster(m),
+		Hints: onepass.Hints{Km: 0.1, DistinctKeys: 500},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromGen, err := onepass.Run(onepass.Job{
+		Query: onepass.ClickCount(), Input: gen,
+		Platform: onepass.INCHash, Cluster: onepass.PaperCluster(m),
+		Hints: onepass.Hints{Km: 0.1, DistinctKeys: 500},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromFile.OutputRecords != fromGen.OutputRecords {
+		t.Fatalf("file-backed run found %d users, generator %d",
+			fromFile.OutputRecords, fromGen.OutputRecords)
+	}
+}
