@@ -25,17 +25,18 @@ import (
 
 func main() {
 	var (
-		queryFlag = flag.String("query", "sessionization", "query: sessionization|clickcount|frequsers|pagefreq|trigram")
-		platFlag  = flag.String("platform", "inc-hash", "platform: sm|hop|mr-hash|inc-hash|dinc-hash")
-		dataFlag  = flag.Float64("data", 64e9, "logical input size in bytes")
-		scaleFlag = flag.String("scale", "1/512", "physical:logical scale, e.g. 1/512")
-		chunkFlag = flag.Float64("chunk", 64e6, "chunk size C in logical bytes")
-		stateFlag = flag.Int("state", 512, "sessionization state size in bytes")
-		usersFlag = flag.Int("users", 0, "distinct users (0 = sized to ~2.2x reduce memory)")
-		seedFlag  = flag.Int64("seed", 42, "workload seed")
-		fFlag     = flag.Int("f", 0, "merge factor F (0 = one-pass)")
-		rFlag     = flag.Int("r", 4, "reducers per node R")
-		traceFlag = flag.String("trace", "", "write a Chrome trace (chrome://tracing) of task spans to this file")
+		queryFlag   = flag.String("query", "sessionization", "query: sessionization|clickcount|frequsers|pagefreq|trigram")
+		platFlag    = flag.String("platform", "inc-hash", "platform: sm|hop|mr-hash|inc-hash|dinc-hash")
+		dataFlag    = flag.Float64("data", 64e9, "logical input size in bytes")
+		scaleFlag   = flag.String("scale", "1/512", "physical:logical scale, e.g. 1/512")
+		chunkFlag   = flag.Float64("chunk", 64e6, "chunk size C in logical bytes")
+		stateFlag   = flag.Int("state", 512, "sessionization state size in bytes")
+		usersFlag   = flag.Int("users", 0, "distinct users (0 = sized to ~2.2x reduce memory)")
+		seedFlag    = flag.Int64("seed", 42, "workload seed")
+		fFlag       = flag.Int("f", 0, "merge factor F (0 = one-pass)")
+		rFlag       = flag.Int("r", 4, "reducers per node R")
+		traceFlag   = flag.String("trace", "", "write a Chrome trace (chrome://tracing) of task spans to this file")
+		workersFlag = flag.Int("workers", 0, "compute-pool goroutines (0=GOMAXPROCS, 1=serial; results identical)")
 	)
 	flag.Parse()
 
@@ -46,6 +47,7 @@ func main() {
 	m := onepass.DefaultModel(scale)
 	cluster := onepass.PaperCluster(m)
 	cluster.R = *rFlag
+	cluster.Parallelism = *workersFlag
 	if *fFlag > 0 {
 		cluster.MergeFactor = *fFlag
 	} else {

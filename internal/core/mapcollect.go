@@ -159,25 +159,55 @@ func (c *HashMapCollector) Add(key, val []byte) {
 }
 
 // flushTable emits the table contents as one finished segment per
-// partition and resets the table.
+// partition and resets the table. The table walk is serial (it owns
+// the iteration cursor), but the per-partition combine + encode work
+// runs on the kernel's compute pool: partitions are disjoint, entries
+// keep table iteration order within each partition, and the table is
+// only read until reset — so the emitted segments are bytewise
+// identical to a serial flush for any worker count.
 func (c *HashMapCollector) flushTable() {
-	segs := make([][]byte, c.r)
+	type entry struct {
+		key    []byte
+		state  []byte
+		values func(func([]byte))
+	}
+	perPart := make([][]entry, c.r)
 	c.table.Range(func(pk, state []byte, values func(func([]byte))) bool {
 		part, key := splitPrefixed(pk)
-		if c.inc != nil {
-			segs[part] = kvenc.AppendPair(segs[part], key, state)
-			c.outRecs++
-			return true
-		}
-		// Combine the collected values into (usually) one.
-		var vals [][]byte
-		values(func(v []byte) { vals = append(vals, append([]byte(nil), v...)) })
-		c.comb.Combine(key, &sliceIter{vals: vals}, func(v []byte) {
-			segs[part] = kvenc.AppendPair(segs[part], key, v)
-			c.outRecs++
-		})
+		perPart[part] = append(perPart[part], entry{key: key, state: state, values: values})
 		return true
 	})
+	segs := make([][]byte, c.r)
+	counts := make([]int64, c.r)
+	encode := func(part int) {
+		var seg []byte
+		var n int64
+		for _, e := range perPart[part] {
+			if c.inc != nil {
+				seg = kvenc.AppendPair(seg, e.key, e.state)
+				n++
+				continue
+			}
+			// Combine the collected values into (usually) one.
+			var vals [][]byte
+			e.values(func(v []byte) { vals = append(vals, v) })
+			c.comb.Combine(e.key, &sliceIter{vals: vals}, func(v []byte) {
+				seg = kvenc.AppendPair(seg, e.key, v)
+				n++
+			})
+		}
+		segs[part], counts[part] = seg, n
+	}
+	if c.rt.P != nil {
+		c.rt.P.ParallelFor(c.r, encode)
+	} else {
+		for part := 0; part < c.r; part++ {
+			encode(part)
+		}
+	}
+	for _, n := range counts {
+		c.outRecs += n
+	}
 	c.appendSegments(segs)
 	c.reset()
 }

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/cost"
 	"repro/internal/hashfam"
+	"repro/internal/kvenc"
 	"repro/internal/sim"
 	"repro/internal/storage"
 )
@@ -44,6 +45,41 @@ type Runtime struct {
 	// function for the Definition 1 reduce-progress metric. It must be
 	// cheap: it is called once per record on the in-memory path.
 	FnRecords func(n int64)
+}
+
+// parallelSortMin is the stream size below which sharding a sort onto
+// the compute pool costs more than it saves.
+const parallelSortMin = 64 << 10
+
+// SortStream stably sorts an encoded stream by key. When the kernel
+// has a compute pool, the stream is split at pair boundaries, the
+// shards are sorted on real goroutines, and the sorted shards are
+// stably merged — bytewise identical to kvenc.SortStream for any
+// worker count, because a stable sort has a unique result. Virtual CPU
+// is charged by the caller exactly as for the serial sort: the charge
+// depends on the pair count, not on how the real work was scheduled.
+func (rt *Runtime) SortStream(data []byte) ([]byte, int) {
+	w := 1
+	if rt.P != nil {
+		w = rt.P.Workers()
+	}
+	if w <= 1 || len(data) < parallelSortMin {
+		return kvenc.SortStream(data)
+	}
+	pieces := kvenc.SplitStream(data, w)
+	if len(pieces) <= 1 {
+		return kvenc.SortStream(data)
+	}
+	sorted := make([][]byte, len(pieces))
+	counts := make([]int, len(pieces))
+	rt.P.ParallelFor(len(pieces), func(i int) {
+		sorted[i], counts[i] = kvenc.SortStream(pieces[i])
+	})
+	n := 0
+	for _, c := range counts {
+		n += c
+	}
+	return kvenc.MergeStream(sorted), n
 }
 
 // ChargeOps bills n operations at per-logical-op cost per.

@@ -84,6 +84,14 @@ type ClusterConfig struct {
 
 	Model            cost.Model
 	ProgressInterval time.Duration // metrics sampling period (virtual)
+
+	// Parallelism sizes the kernel's fork/join compute pool: the real
+	// goroutines that execute pure compute (chunk generation, map
+	// functions, sorting, collector flushes) while the simulation
+	// schedules one process at a time. 0 means GOMAXPROCS; 1 runs all
+	// compute inline. Results are bit-for-bit identical for any value
+	// — this knob trades wall-clock time only, never virtual time.
+	Parallelism int
 }
 
 // PaperCluster returns the paper's evaluation cluster (§2.3): 10 nodes

@@ -1,0 +1,84 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/mr"
+	"repro/internal/queries"
+)
+
+// TestParallelismDoesNotChangeReports is the determinism differential
+// test for the fork/join compute pool: the same job run twice serially
+// (Parallelism=1) and once per parallel pool size must produce
+// bit-identical Reports — event order, virtual times, I/O volumes,
+// progress curves, spans, and every output record. Only Workers and
+// WallTime may differ, so they are zeroed before comparison.
+//
+// Sessionization is the adversarial choice of query: it carries
+// watermark state (replayed serially at delivery points), its map
+// output is large (Km≈1, exercising collector flushes and spills), and
+// the small reduce buffer forces the sort/spill paths.
+func TestParallelismDoesNotChangeReports(t *testing.T) {
+	m := testModel()
+	input := testClicks(t, 192<<10, 12<<10)
+	run := func(pl Platform, workers int) *Report {
+		c := testCluster(m)
+		c.ReduceBuffer = 16 << 10 // force reduce-side spills
+		c.Page = 1 << 10
+		c.Parallelism = workers
+		rep := runJob(t, JobSpec{
+			Query:    queries.NewSessionization(5*time.Minute, 512, 5*time.Second),
+			Input:    input,
+			Platform: pl,
+			Cluster:  c,
+			Hints:    mr.Hints{Km: 1, DistinctKeys: 400},
+			Seed:     7,
+		})
+		if rep.Workers != workers && !(workers <= 1 && rep.Workers == 1) {
+			// workers<=0 resolves to GOMAXPROCS, which the caller
+			// avoids by always passing explicit positive counts.
+			t.Fatalf("report ran with %d workers, want %d", rep.Workers, workers)
+		}
+		// Zero the only fields allowed to vary with pool size.
+		rep.Workers = 0
+		rep.WallTime = 0
+		return rep
+	}
+	for _, pl := range []Platform{SortMerge, INCHash} {
+		serial1 := run(pl, 1)
+		serial2 := run(pl, 1)
+		if !reflect.DeepEqual(serial1, serial2) {
+			t.Fatalf("%v: two serial runs differ — simulation itself nondeterministic", pl)
+		}
+		if len(serial1.Outputs) == 0 {
+			t.Fatalf("%v: no outputs collected", pl)
+		}
+		// 3 shards oddly against 16 map chunks; 4 is a typical core
+		// count; 8 oversubscribes this container — determinism must
+		// hold regardless of how closures land on workers.
+		for _, w := range []int{3, 4, 8} {
+			par := run(pl, w)
+			if !reflect.DeepEqual(serial1, par) {
+				diff := describeReportDiff(serial1, par)
+				t.Fatalf("%v: Workers=%d report differs from serial run: %s", pl, w, diff)
+			}
+		}
+	}
+}
+
+// describeReportDiff names the first differing field, so a determinism
+// failure points at the leaking subsystem instead of dumping two
+// multi-KB structs.
+func describeReportDiff(a, b *Report) string {
+	av := reflect.ValueOf(*a)
+	bv := reflect.ValueOf(*b)
+	tp := av.Type()
+	for i := 0; i < tp.NumField(); i++ {
+		if !reflect.DeepEqual(av.Field(i).Interface(), bv.Field(i).Interface()) {
+			return tp.Field(i).Name
+		}
+	}
+	return "unknown field"
+}

@@ -81,6 +81,7 @@ func Run(spec JobSpec) (*Report, error) {
 	if j.totalMaps == 0 {
 		return nil, errSpec("input has no chunks")
 	}
+	j.k.SetWorkers(cfg.Parallelism)
 	j.inputBytesEst = int64(len(spec.Input.ChunkBytes(0))) * int64(j.totalMaps)
 	for i := 0; i < cfg.Nodes; i++ {
 		j.nodes = append(j.nodes, newNode(j.k, i, *cfg))
@@ -119,11 +120,16 @@ func Run(spec JobSpec) (*Report, error) {
 		})
 	}
 
+	wallStart := time.Now()
 	if err := j.k.Run(); err != nil {
 		return nil, fmt.Errorf("engine: %s on %s: %w", spec.Query.Name(), spec.Platform, err)
 	}
+	wall := time.Since(wallStart)
 	sampler.Finish(j.k.Now())
-	return j.report(sampler), nil
+	r := j.report(sampler)
+	r.Workers = j.k.Workers()
+	r.WallTime = wall
+	return r, nil
 }
 
 // newRuntime builds the task runtime charging CPU on node n into the

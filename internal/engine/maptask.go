@@ -35,11 +35,65 @@ func (j *job) runMapTask(p *sim.Proc, chunk int, n *node) {
 	}
 }
 
+// segMapResult is one segment's map output computed on the worker
+// pool: the emitted pairs in emission order plus, for watermarked
+// queries, per-record marks so the replay can advance the watermark
+// at exactly the points the serial engine would.
+type segMapResult struct {
+	pairs   []byte    // kvenc stream of Map emissions, in order
+	marks   []recMark // one per input record (watermarked queries only)
+	records int64
+}
+
+// recMark locates one input record's contribution in a segMapResult.
+type recMark struct {
+	ts    int64 // mr.Watermarker.RecordTime of the record
+	pairs int32 // emissions by this record
+}
+
+// mapSegment applies the map function to every record of one segment,
+// accumulating emissions into out. It is pure: it reads only the
+// segment (and the query, whose Map must be receiver-pure) and writes
+// only out, so it is safe to run on the kernel's compute pool.
+func (j *job) mapSegment(segment []byte, wm mr.Watermarker, out *segMapResult) {
+	for len(segment) > 0 {
+		nl := bytes.IndexByte(segment, '\n')
+		var line []byte
+		if nl < 0 {
+			line, segment = segment, nil
+		} else {
+			line, segment = segment[:nl], segment[nl+1:]
+		}
+		if len(line) == 0 {
+			continue
+		}
+		out.records++
+		var emitted int32
+		j.spec.Query.Map(line, func(k, v []byte) {
+			out.pairs = kvenc.AppendPair(out.pairs, k, v)
+			emitted++
+		})
+		if wm != nil {
+			out.marks = append(out.marks, recMark{ts: wm.RecordTime(line), pairs: emitted})
+		}
+	}
+}
+
 // runMapAttempt executes one attempt; fail=true makes it abort after
 // FailPoint of the work, discarding everything.
+//
+// Real compute (chunk generation, parsing, the map function) runs on
+// the kernel's worker pool: the chunk is generated while the task pays
+// its virtual startup cost, and each read segment's map work is forked
+// ahead within a bounded window while earlier segments' virtual I/O
+// and CPU are charged. Results are consumed strictly in segment order
+// and the collector and watermark are only touched on the process
+// goroutine, so event order and all outputs are identical for any
+// worker count.
 func (j *job) runMapAttempt(p *sim.Proc, chunk int, n *node, attempt int, fail bool) (ok bool) {
 	p.Acquire(n.mapSlots, 1)
 	defer p.Release(n.mapSlots, 1)
+	defer p.Join() // drain forked compute on every exit path
 	start := p.Now()
 	kind := "map"
 	if fail {
@@ -48,18 +102,25 @@ func (j *job) runMapAttempt(p *sim.Proc, chunk int, n *node, attempt int, fail b
 	defer func() { j.addSpan(fmt.Sprintf("%s#%d", p.Name(), attempt), kind, n.idx, start, p.Now()) }()
 	j.gauges.Enter(metrics.PhaseMap)
 	defer j.gauges.Leave(metrics.PhaseMap)
+
+	cfg := &j.spec.Cluster
+	model := cfg.Model
+
+	// Generate (or "read") the chunk on the pool while the startup
+	// overhead elapses in virtual time.
+	var data []byte
+	gen := p.Fork(func() { data = j.spec.Input.ChunkBytes(chunk) })
+	p.Hold(model.MapStartup + model.TaskOverhead)
+	gen.Wait()
+
 	failAt := int64(-1)
 	if fail {
 		fp := j.spec.Faults.FailPoint
 		if fp <= 0 || fp > 1 {
 			fp = 1
 		}
-		failAt = int64(fp * float64(len(j.spec.Input.ChunkBytes(chunk))))
+		failAt = int64(fp * float64(len(data)))
 	}
-
-	cfg := &j.spec.Cluster
-	model := cfg.Model
-	p.Hold(model.MapStartup + model.TaskOverhead)
 
 	rt := j.newRuntime(p, n, &j.mapCPU)
 	var coll collector
@@ -81,19 +142,26 @@ func (j *job) runMapAttempt(p *sim.Proc, chunk int, n *node, attempt int, fail b
 			j.spec.Platform.Incremental())
 	}
 
-	data := j.spec.Input.ChunkBytes(chunk)
 	hashCombining := false
 	if hashColl, ok := coll.(*core.HashMapCollector); ok {
 		hashCombining = hashColl.Combining()
 	}
+	wm, _ := j.spec.Query.(mr.Watermarker)
 
-	// Process the chunk in read segments: each segment is one input
-	// I/O request plus one CPU burst covering parsing, the map
-	// function, and the collector's per-record work.
+	// Split the chunk into read segments, extended to record
+	// boundaries — each is one input I/O request plus one CPU burst
+	// covering parsing, the map function, and the collector's
+	// per-record work.
 	seg := cfg.ReadSegment
 	if seg <= 0 || seg > int64(len(data)) {
 		seg = int64(len(data))
 	}
+	type segTask struct {
+		off, end int64
+		fut      *sim.Future
+		out      segMapResult
+	}
+	var tasks []*segTask
 	for off := int64(0); off < int64(len(data)); {
 		end := off + seg
 		if end >= int64(len(data)) {
@@ -106,40 +174,66 @@ func (j *job) runMapAttempt(p *sim.Proc, chunk int, n *node, attempt int, fail b
 				end = int64(len(data))
 			}
 		}
-		segment := data[off:end]
-		n.store.ChargeInputRead(p, end-off)
+		tasks = append(tasks, &segTask{off: off, end: end})
+		off = end
+	}
 
-		var records int64
-		for len(segment) > 0 {
-			nl := bytes.IndexByte(segment, '\n')
-			var line []byte
-			if nl < 0 {
-				line, segment = segment, nil
-			} else {
-				line, segment = segment[:nl], segment[nl+1:]
+	// Fork map compute with bounded look-ahead: enough in flight to
+	// keep the pool busy across this task's parks, without holding
+	// every segment's output in memory at once.
+	window := 2 * p.Workers()
+	nextFork := 0
+	forkUpTo := func(limit int) {
+		for ; nextFork < len(tasks) && nextFork < limit; nextFork++ {
+			t := tasks[nextFork]
+			segment := data[t.off:t.end]
+			t.fut = p.Fork(func() { j.mapSegment(segment, wm, &t.out) })
+		}
+	}
+
+	for i, t := range tasks {
+		forkUpTo(i + window)
+		n.store.ChargeInputRead(p, t.end-t.off)
+		t.fut.Wait()
+
+		// Replay the segment's results into the collector in record
+		// order, advancing the watermark exactly where the serial
+		// engine would (just before each record's emissions).
+		it := kvenc.NewIterator(t.out.pairs)
+		if wm == nil {
+			for {
+				k, v, more := it.Next()
+				if !more {
+					break
+				}
+				coll.Add(k, v)
 			}
-			if len(line) == 0 {
-				continue
+		} else {
+			for _, m := range t.out.marks {
+				wm.AdvanceWatermark(m.ts)
+				for e := int32(0); e < m.pairs; e++ {
+					k, v, _ := it.Next()
+					coll.Add(k, v)
+				}
 			}
-			records++
-			j.spec.Query.Map(line, coll.Add)
 		}
 
-		cpu := model.CPUOps(model.CPUParseByte, end-off) +
-			model.CPUOps(model.CPUMapRecord, records)
+		cpu := model.CPUOps(model.CPUParseByte, t.end-t.off) +
+			model.CPUOps(model.CPUMapRecord, t.out.records)
 		switch {
 		case j.spec.Platform == SortMerge || j.spec.Platform == HOP:
 			// Sorting CPU is charged inside the collector at spill time.
 		case hashCombining:
-			cpu += model.CPUOps(model.CPUHashInsert+model.CPUCombine, records)
+			cpu += model.CPUOps(model.CPUHashInsert+model.CPUCombine, t.out.records)
 		default:
-			cpu += model.CPUOps(model.CPUHashInsert, records)
+			cpu += model.CPUOps(model.CPUHashInsert, t.out.records)
 		}
 		n.chargeCPU(p, cpu, &j.mapCPU)
-		off = end
-		if failAt >= 0 && off >= failAt {
+		t.out = segMapResult{} // release the segment's buffers
+		if failAt >= 0 && t.end >= failAt {
 			// The attempt dies here: work and output are lost; the
-			// JobTracker reschedules the task.
+			// JobTracker reschedules the task. The deferred Join
+			// drains segments still in flight.
 			return false
 		}
 	}
@@ -235,7 +329,7 @@ func (h *hopCollector) push() {
 		return
 	}
 	model := h.rt.Model
-	sorted, n := kvenc.SortStream(h.buf)
+	sorted, n := h.rt.SortStream(h.buf)
 	h.rt.ChargeCPU(model.CPUSort(int64(n)))
 	h.buf = nil
 	if h.comb != nil {

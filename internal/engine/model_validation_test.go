@@ -37,6 +37,9 @@ func (identityQuery) Reduce(key []byte, values kvenc.ValueIter, out mr.OutputWri
 // I/O model (Eq. 1) against the simulated system under a sort-merge
 // run with reduce-side spilling.
 func TestProposition31MatchesMeasuredIO(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second model-validation run")
+	}
 	scale := 1.0 / 2048
 	m := cost.Default(scale)
 	cl := PaperCluster(m)
@@ -108,6 +111,9 @@ func TestProposition31MatchesMeasuredIO(t *testing.T) {
 // broader claim behind Fig 4(a): across (C, F) settings, the model's
 // time cost ranks the measured running times.
 func TestModelOrderingPredictsMeasuredOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second (C, F) grid sweep")
+	}
 	scale := 1.0 / 4096
 	m := cost.Default(scale)
 	base := PaperCluster(m)

@@ -60,6 +60,13 @@ type Report struct {
 
 	// Spans lists every task's lifetime (for trace export).
 	Spans []Span
+
+	// Workers is the compute-pool size the job ran with, and WallTime
+	// the real (host) time the simulation took — the only field that
+	// varies with Workers; everything else is bit-for-bit identical
+	// for any pool size.
+	Workers  int
+	WallTime time.Duration
 }
 
 // report assembles the final Report from the job state.

@@ -33,6 +33,10 @@ type Config struct {
 	Seed int64
 	// Log receives progress lines (nil = silent).
 	Log io.Writer
+	// Workers sizes the engine's compute pool (engine
+	// ClusterConfig.Parallelism): 0 = GOMAXPROCS, 1 = inline. Results
+	// are identical for any value; only wall-clock time changes.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -118,6 +122,7 @@ func (c Config) paperCluster() engine.ClusterConfig {
 	if c.Quick {
 		cl.ProgressInterval = 2 * time.Second
 	}
+	cl.Parallelism = c.Workers
 	return cl
 }
 

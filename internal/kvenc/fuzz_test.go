@@ -1,0 +1,139 @@
+package kvenc
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRecordRoundTrip encodes arbitrary key/value pairs and asserts
+// the stream decodes back to exactly what was written, in order, with
+// no error. Pairs are derived from a single fuzz blob so the corpus
+// explores lengths (including empty keys/values) freely.
+func FuzzRecordRoundTrip(f *testing.F) {
+	f.Add([]byte("k1v1k2v2"), uint8(2))
+	f.Add([]byte(""), uint8(0))
+	f.Add([]byte("\x00\xff long value material here"), uint8(7))
+	f.Fuzz(func(t *testing.T, blob []byte, n uint8) {
+		// Carve up to n pairs out of blob deterministically.
+		type pair struct{ k, v []byte }
+		var pairs []pair
+		var stream []byte
+		rest := blob
+		for i := 0; i < int(n)%16; i++ {
+			kl := 0
+			if len(rest) > 0 {
+				kl = int(rest[0]) % (len(rest) + 1)
+				rest = rest[1:]
+			}
+			if kl > len(rest) {
+				kl = len(rest)
+			}
+			k := rest[:kl]
+			rest = rest[kl:]
+			vl := len(rest) / 2
+			v := rest[:vl]
+			rest = rest[vl:]
+			pairs = append(pairs, pair{k, v})
+			stream = AppendPair(stream, k, v)
+		}
+		it := NewIterator(stream)
+		for i, p := range pairs {
+			k, v, ok := it.Next()
+			if !ok {
+				t.Fatalf("stream ended at pair %d of %d", i, len(pairs))
+			}
+			if !bytes.Equal(k, p.k) || !bytes.Equal(v, p.v) {
+				t.Fatalf("pair %d: got (%q,%q) want (%q,%q)", i, k, v, p.k, p.v)
+			}
+		}
+		if _, _, ok := it.Next(); ok {
+			t.Fatal("extra pair after round trip")
+		}
+		if it.Err() != nil {
+			t.Fatalf("round trip produced error: %v", it.Err())
+		}
+		if got := Count(stream); got != len(pairs) {
+			t.Fatalf("Count=%d want %d", got, len(pairs))
+		}
+	})
+}
+
+// FuzzRunIterator feeds arbitrary (mostly corrupt) bytes through every
+// stream consumer: none may panic — worker goroutines must not bring
+// down the kernel — and an iterator that stops early must report
+// ErrCorrupt. Valid prefixes decode normally.
+func FuzzRunIterator(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendPair(nil, []byte("key"), []byte("value")))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Add([]byte{0x05, 0x05, 'a'}) // truncated pair
+	corrupted := AppendPair(nil, []byte("abc"), []byte("def"))
+	corrupted[0] = 0x7f // key length far beyond the stream
+	f.Add(corrupted)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		it := NewIterator(data)
+		consumed := 0
+		for {
+			k, v, ok := it.Next()
+			if !ok {
+				break
+			}
+			consumed += len(k) + len(v)
+		}
+		if it.Err() != nil && it.Err() != ErrCorrupt {
+			t.Fatalf("unexpected error type: %v", it.Err())
+		}
+		// Err must be sticky and Next must stay at end.
+		if _, _, ok := it.Next(); ok {
+			t.Fatal("Next returned a pair after reporting end")
+		}
+		// The other consumers must tolerate the same bytes.
+		Count(data)
+		IsSorted(data)
+		sorted, n := SortStream(data)
+		if Count(sorted) != n {
+			t.Fatalf("SortStream reported %d pairs, stream has %d", n, Count(sorted))
+		}
+		// SplitStream pieces must tile the input exactly.
+		for _, k := range []int{1, 2, 3, 7} {
+			pieces := SplitStream(data, k)
+			var total int
+			for _, p := range pieces {
+				total += len(p)
+			}
+			if len(data) > 0 && total != len(data) {
+				t.Fatalf("SplitStream(k=%d) covers %d of %d bytes", k, total, len(data))
+			}
+		}
+		MergeGroups([][]byte{data}, func(key []byte, vals ValueIter) bool {
+			SliceValues(vals)
+			return true
+		})
+	})
+}
+
+// TestSplitStreamShardedSortMatchesSerial locks in the stable-sort
+// uniqueness property SplitStream's doc promises: shard + sort + merge
+// is bytewise identical to one serial stable sort, for any shard count.
+func TestSplitStreamShardedSortMatchesSerial(t *testing.T) {
+	var stream []byte
+	for i := 0; i < 400; i++ {
+		k := []byte{byte('a' + i%7)}
+		v := []byte{byte(i), byte(i >> 8)}
+		stream = AppendPair(stream, k, v)
+	}
+	serial, n := SortStream(stream)
+	if n != 400 {
+		t.Fatalf("n=%d", n)
+	}
+	for _, shards := range []int{1, 2, 3, 5, 16, 400, 1000} {
+		pieces := SplitStream(stream, shards)
+		sorted := make([][]byte, len(pieces))
+		for i, p := range pieces {
+			sorted[i], _ = SortStream(p)
+		}
+		if got := MergeStream(sorted); !bytes.Equal(got, serial) {
+			t.Fatalf("shards=%d: sharded sort differs from serial stable sort", shards)
+		}
+	}
+}

@@ -17,35 +17,74 @@ import (
 	"bytes"
 	"container/heap"
 	"encoding/binary"
+	"errors"
 	"sort"
 )
+
+// ErrCorrupt is reported by Iterator.Err when a stream's framing is
+// invalid (truncated pair, malformed or oversized length varint).
+var ErrCorrupt = errors.New("kvenc: corrupt stream")
+
+// scanPair validates and measures the first pair of data, returning
+// the key's byte range and the pair's total encoded length. ok is
+// false when the framing is invalid; no slice access is performed
+// beyond len(data), so corrupt input can never panic.
+func scanPair(data []byte) (keyOff, keyEnd, end int, ok bool) {
+	klen, kn := binary.Uvarint(data)
+	if kn <= 0 {
+		return 0, 0, 0, false
+	}
+	vlen, vn := binary.Uvarint(data[kn:])
+	if vn <= 0 {
+		return 0, 0, 0, false
+	}
+	// Bounding each length by len(data) both rejects truncated pairs
+	// early and guarantees the int conversions below cannot overflow.
+	if klen > uint64(len(data)) || vlen > uint64(len(data)) {
+		return 0, 0, 0, false
+	}
+	keyOff = kn + vn
+	keyEnd = keyOff + int(klen)
+	end = keyEnd + int(vlen)
+	if end > len(data) {
+		return 0, 0, 0, false
+	}
+	return keyOff, keyEnd, end, true
+}
 
 // Iterator decodes a stream pair by pair. The zero value is empty.
 type Iterator struct {
 	data []byte
 	key  []byte
 	val  []byte
+	err  error
 }
 
 // NewIterator returns an iterator over an encoded stream.
 func NewIterator(data []byte) *Iterator { return &Iterator{data: data} }
 
-// Next advances to the next pair, returning false at end of stream.
-// The returned slices alias the underlying stream.
+// Next advances to the next pair, returning false at end of stream or
+// on corrupt framing (check Err to distinguish). The returned slices
+// alias the underlying stream.
 func (it *Iterator) Next() (key, val []byte, ok bool) {
-	if len(it.data) == 0 {
+	if len(it.data) == 0 || it.err != nil {
 		return nil, nil, false
 	}
-	klen, kn := binary.Uvarint(it.data)
-	vlen, vn := binary.Uvarint(it.data[kn:])
-	p := kn + vn
-	it.key = it.data[p : p+int(klen) : p+int(klen)]
-	p += int(klen)
-	it.val = it.data[p : p+int(vlen) : p+int(vlen)]
-	p += int(vlen)
-	it.data = it.data[p:]
+	keyOff, keyEnd, end, ok := scanPair(it.data)
+	if !ok {
+		it.err = ErrCorrupt
+		it.data = nil
+		return nil, nil, false
+	}
+	it.key = it.data[keyOff:keyEnd:keyEnd]
+	it.val = it.data[keyEnd:end:end]
+	it.data = it.data[end:]
 	return it.key, it.val, true
 }
+
+// Err returns ErrCorrupt if the iterator stopped on invalid framing
+// rather than a clean end of stream.
+func (it *Iterator) Err() error { return it.err }
 
 // AppendPair appends one encoded pair to dst and returns the extended
 // slice.
@@ -81,12 +120,12 @@ func SortStream(data []byte) ([]byte, int) {
 	}
 	var spans []span
 	for p := 0; p < len(data); {
-		start := p
-		klen, kn := binary.Uvarint(data[p:])
-		vlen, vn := binary.Uvarint(data[p+kn:])
-		keyOff := p + kn + vn
-		p = keyOff + int(klen) + int(vlen)
-		spans = append(spans, span{keyOff: keyOff, keyEnd: keyOff + int(klen), off: start, end: p})
+		keyOff, keyEnd, end, ok := scanPair(data[p:])
+		if !ok {
+			break // drop a corrupt tail rather than panic
+		}
+		spans = append(spans, span{keyOff: p + keyOff, keyEnd: p + keyEnd, off: p, end: p + end})
+		p += end
 	}
 	sort.SliceStable(spans, func(i, j int) bool {
 		return bytes.Compare(data[spans[i].keyOff:spans[i].keyEnd], data[spans[j].keyOff:spans[j].keyEnd]) < 0
@@ -96,6 +135,40 @@ func SortStream(data []byte) ([]byte, int) {
 		out = append(out, data[s.off:s.end]...)
 	}
 	return out, len(spans)
+}
+
+// SplitStream cuts a stream into at most k contiguous pieces at pair
+// boundaries, roughly equal in bytes, preserving pair order across
+// pieces (every pair of piece i precedes every pair of piece i+1 in
+// the original). Pieces alias data. It underpins sharded sorting:
+// stably sorting each piece and stably merging them (ties broken by
+// piece index) yields a stream bytewise identical to SortStream of
+// the whole, for any k — a stable sort has a unique result.
+func SplitStream(data []byte, k int) [][]byte {
+	if len(data) == 0 {
+		return nil
+	}
+	if k <= 1 {
+		return [][]byte{data}
+	}
+	target := (len(data) + k - 1) / k
+	var pieces [][]byte
+	start := 0
+	for p := 0; p < len(data); {
+		_, _, end, ok := scanPair(data[p:])
+		if !ok {
+			break // corrupt tail stays attached to the final piece
+		}
+		p += end
+		if p-start >= target && len(pieces) < k-1 {
+			pieces = append(pieces, data[start:p:p])
+			start = p
+		}
+	}
+	if start < len(data) {
+		pieces = append(pieces, data[start:])
+	}
+	return pieces
 }
 
 // IsSorted reports whether a stream's keys are non-decreasing.

@@ -70,6 +70,25 @@ type EarlyEmitter interface {
 	TryEmit(key, state []byte, out OutputWriter) []byte
 }
 
+// Watermarker is implemented by queries that maintain an event-time
+// watermark (the max record timestamp observed by the map phase),
+// which their reduce-side logic consults to decide what is final.
+//
+// Map implementations must be pure with respect to the query receiver
+// — the engine may apply the map function to different input segments
+// concurrently — so watermark tracking cannot live inside Map.
+// Instead the engine extracts each record's timestamp with RecordTime
+// (which must also be pure) and calls AdvanceWatermark at the exact
+// points the record is delivered to the map-output collector, keeping
+// the watermark trajectory deterministic for any parallelism.
+type Watermarker interface {
+	// RecordTime returns the event timestamp of one input record.
+	RecordTime(record []byte) int64
+	// AdvanceWatermark raises the watermark to ts if it is ahead of
+	// the current value. Called serially by the engine.
+	AdvanceWatermark(ts int64)
+}
+
 // Evictor customizes what happens when DINC-hash evicts a monitored
 // key-state pair (§6.2: for sessionization, "rather than spilling the
 // evicted state to disk, the clicks in it can be directly output").

@@ -186,11 +186,12 @@ func TestSessionizationReduceSortsDisorderedInput(t *testing.T) {
 }
 
 // runIncremental pushes clicks through the incremental path in order,
-// advancing the watermark via Map as the engine would.
+// advancing the watermark per record as the engine would.
 func runIncremental(q *Sessionization, s *sink, clicks [][]byte) []byte {
 	var st []byte
 	for _, rec := range clicks {
 		var key []byte
+		q.AdvanceWatermark(q.RecordTime(rec))
 		q.Map(rec, func(k, v []byte) { key = append([]byte(nil), k...) })
 		init := q.Init(key, rec)
 		if st == nil {
@@ -292,9 +293,9 @@ func TestSessionizationMergeDisorderedStates(t *testing.T) {
 func TestSessionizationEvictorAndScavenger(t *testing.T) {
 	q := newSess()
 	s := &sink{}
-	// Old click, then advance watermark far past it via Map.
+	// Old click, then advance watermark far past it.
 	st := q.Init([]byte("u0000001"), click(1*minute, "u0000001", "/a"))
-	q.Map(click(60*minute, "u0000002", "/b"), func(k, v []byte) {})
+	q.AdvanceWatermark(q.RecordTime(click(60*minute, "u0000002", "/b")))
 	if !q.Scavenge([]byte("u0000001"), st) {
 		t.Fatal("expired state not scavengeable")
 	}

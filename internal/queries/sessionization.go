@@ -54,13 +54,21 @@ func NewSessionization(gap time.Duration, stateSize int, slack time.Duration) *S
 // Name implements mr.Query.
 func (q *Sessionization) Name() string { return "sessionization" }
 
-// Map implements mr.Query: key by user id, keep the whole record as
-// the value, and advance the global watermark.
+// Map implements mr.Query: key by user id with the whole record as
+// the value. It is pure — the engine may run it concurrently over
+// input segments; the watermark advances through mr.Watermarker.
 func (q *Sessionization) Map(record []byte, emit func(k, v []byte)) {
-	if ts := clickTs(record); ts > q.watermark {
+	emit(clickUser(record), record)
+}
+
+// RecordTime implements mr.Watermarker.
+func (q *Sessionization) RecordTime(record []byte) int64 { return clickTs(record) }
+
+// AdvanceWatermark implements mr.Watermarker.
+func (q *Sessionization) AdvanceWatermark(ts int64) {
+	if ts > q.watermark {
 		q.watermark = ts
 	}
-	emit(clickUser(record), record)
 }
 
 // Reduce implements mr.Query (the sort-merge / MR-hash path): sort the
@@ -262,4 +270,5 @@ var (
 	_ mr.EarlyEmitter = &Sessionization{}
 	_ mr.Evictor      = &Sessionization{}
 	_ mr.Scavenger    = &Sessionization{}
+	_ mr.Watermarker  = &Sessionization{}
 )

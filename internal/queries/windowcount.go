@@ -64,13 +64,21 @@ func (q *WindowCount) keyWindowEnd(key []byte) int64 {
 	return (idx + 1) * q.window
 }
 
-// Map implements mr.Query.
+// Map implements mr.Query. It is pure — the engine may run it
+// concurrently over input segments; the watermark advances through
+// mr.Watermarker.
 func (q *WindowCount) Map(record []byte, emit func(k, v []byte)) {
-	ts := clickTs(record)
+	emit(q.windowKey(clickTs(record), clickURL(record)), []byte("1"))
+}
+
+// RecordTime implements mr.Watermarker.
+func (q *WindowCount) RecordTime(record []byte) int64 { return clickTs(record) }
+
+// AdvanceWatermark implements mr.Watermarker.
+func (q *WindowCount) AdvanceWatermark(ts int64) {
 	if ts > q.watermark {
 		q.watermark = ts
 	}
-	emit(q.windowKey(ts, clickURL(record)), []byte("1"))
 }
 
 // Reduce implements mr.Query.
@@ -164,4 +172,5 @@ var (
 	_ mr.EarlyEmitter = &WindowCount{}
 	_ mr.Evictor      = &WindowCount{}
 	_ mr.Scavenger    = &WindowCount{}
+	_ mr.Watermarker  = &WindowCount{}
 )

@@ -49,14 +49,14 @@ func TestWindowEmitsWhenWatermarkPasses(t *testing.T) {
 	st := q.Init(key, []byte("1"))
 
 	// Watermark still inside the window: nothing final yet.
-	q.Map(click(50*minute, "u0000001", "/b"), func(k, v []byte) {})
+	q.AdvanceWatermark(q.RecordTime(click(50*minute, "u0000001", "/b")))
 	st = q.TryEmit(key, st, s)
 	if len(s.got) != 0 {
 		t.Fatalf("emitted before window closed: %v", s.got)
 	}
 
 	// Watermark passes the window end (plus slack): the count is final.
-	q.Map(click(62*minute, "u0000001", "/b"), func(k, v []byte) {})
+	q.AdvanceWatermark(q.RecordTime(click(62*minute, "u0000001", "/b")))
 	st = q.TryEmit(key, st, s)
 	if len(s.got) != 1 || s.got[0][1] != "1" {
 		t.Fatalf("window not emitted: %v", s.got)
@@ -75,7 +75,7 @@ func TestWindowSlackHoldsBackBorderlineWindows(t *testing.T) {
 	key := q.windowKey(10*minute, []byte("/a"))
 	st := q.Init(key, []byte("1"))
 	// Watermark just past the hour, within the 5s slack.
-	q.Map(click(60*minute+2000, "u0000001", "/b"), func(k, v []byte) {})
+	q.AdvanceWatermark(q.RecordTime(click(60*minute+2000, "u0000001", "/b")))
 	q.TryEmit(key, st, s)
 	if len(s.got) != 0 {
 		t.Fatal("emitted inside the disorder slack")
@@ -92,7 +92,7 @@ func TestWindowEvictorAndScavenger(t *testing.T) {
 		t.Fatal("open window wrongly retired")
 	}
 	// Close it.
-	q.Map(click(2*3600_000, "u0000001", "/b"), func(k, v []byte) {})
+	q.AdvanceWatermark(q.RecordTime(click(2*3600_000, "u0000001", "/b")))
 	if !q.Scavenge(key, st) {
 		t.Fatal("closed window not scavengeable")
 	}

@@ -62,6 +62,7 @@ type Kernel struct {
 	allPr   []*Proc
 	started bool
 	err     error
+	workers *Workers // fork/join compute pool; nil = inline execution
 }
 
 // NewKernel returns an empty kernel at virtual time zero.
@@ -88,6 +89,7 @@ type Proc struct {
 	done   bool
 	killed bool
 	resume chan struct{}
+	forks  []*Future // outstanding Fork futures, drained by Join
 }
 
 // Name returns the process name given at Spawn.
@@ -113,7 +115,9 @@ func (k *Kernel) SpawnDaemon(name string, fn func(p *Proc)) *Proc {
 }
 
 func (k *Kernel) spawn(name string, daemon bool, fn func(p *Proc)) *Proc {
-	p := &Proc{k: k, name: name, daemon: daemon, resume: make(chan struct{})}
+	// resume has capacity 1 so shutdown can hand a kill token to a
+	// goroutine that has not yet reached its first <-p.resume.
+	p := &Proc{k: k, name: name, daemon: daemon, resume: make(chan struct{}, 1)}
 	if !daemon {
 		k.live++
 	}
@@ -218,25 +222,27 @@ func (k *Kernel) deadlockError() error {
 
 // shutdown kills every remaining parked process so its goroutine exits.
 func (k *Kernel) shutdown() {
+	// Drain the compute pool first: a killed proc may hold Futures for
+	// closures still queued or running, and its unwinding defers (Join)
+	// must find them completed rather than hang on a torn-down pool.
+	if k.workers != nil {
+		k.workers.quiesce()
+	}
 	for _, p := range k.allPr {
 		if p.done {
 			continue
 		}
-		if _, isBlocked := k.blocked[p]; !isBlocked {
-			// Process was spawned but never started, or has a pending
-			// event; it is parked on its resume channel either way.
-			// (Procs with pending events are parked too.)
-		}
 		p.killed = true
 		p.done = true
-		select {
-		case p.resume <- struct{}{}:
-			// Goroutine will observe killed and unwind; it does not
-			// report back through k.parked because panic bypasses the
-			// normal completion path, so nothing to drain.
-		default:
-			// Goroutine never started its wait (shouldn't happen) or
-			// already exited.
-		}
+		// resume is buffered (capacity 1), so this send succeeds even
+		// for a goroutine that has not yet reached its first
+		// <-p.resume: the token waits in the buffer, the goroutine
+		// picks it up, observes killed, and unwinds. It does not
+		// report back through k.parked because the kill panic bypasses
+		// the normal completion path, so nothing to drain.
+		p.resume <- struct{}{}
+	}
+	if k.workers != nil {
+		k.workers.close()
 	}
 }

@@ -1,0 +1,249 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Workers is the kernel's deterministic fork/join compute pool.
+//
+// The kernel schedules exactly one simulated process at a time, which
+// keeps virtual time bit-for-bit deterministic — but it also serializes
+// the real CPU work (parsing, map functions, sorting, hash builds) that
+// runs inside each process. Determinism only requires the *ordering* of
+// simulated events, not serialization of the pure computation between
+// them, so a running Proc may Fork self-contained closures onto real
+// goroutines and Wait/Join for their results before it touches shared
+// simulation state or parks.
+//
+// The contract that makes this race-free and deterministic by
+// construction:
+//
+//   - a forked closure is pure with respect to the simulation: it reads
+//     only data captured at Fork time and writes only its own result
+//     slot (per-closure scratch, seeded RNG streams keyed by its input
+//     — never kernel, resource, or collector state);
+//   - the forking process waits for a closure's Future before consuming
+//     its result, and all results are consumed in a fixed program
+//     order, so the merged outcome is independent of worker count
+//     (including 1, where closures run inline on the proc goroutine).
+//
+// Virtual time never depends on how many workers exist: charges are
+// computed from the data, not from wall-clock, so event order, virtual
+// times, and reports are identical for any pool size.
+type Workers struct {
+	n int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []*Future
+	started bool
+	closed  bool
+
+	inFlight sync.WaitGroup // submissions not yet finished (for shutdown)
+}
+
+// newWorkers creates a pool of n workers (n ≥ 1 after defaulting).
+// Worker goroutines start lazily on first submission.
+func newWorkers(n int) *Workers {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	w := &Workers{n: n}
+	w.cond = sync.NewCond(&w.mu)
+	return w
+}
+
+// Size returns the number of pool workers.
+func (w *Workers) Size() int { return w.n }
+
+// submit enqueues a future for execution on the pool.
+func (w *Workers) submit(f *Future) {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		// The kernel has shut down; run inline so the Future still
+		// completes and Wait never hangs.
+		f.run()
+		return
+	}
+	if !w.started {
+		w.started = true
+		for i := 0; i < w.n; i++ {
+			go w.work()
+		}
+	}
+	w.inFlight.Add(1)
+	w.queue = append(w.queue, f)
+	w.mu.Unlock()
+	w.cond.Signal()
+}
+
+// work is one pool goroutine: run queued futures until the pool closes.
+func (w *Workers) work() {
+	for {
+		w.mu.Lock()
+		for len(w.queue) == 0 && !w.closed {
+			w.cond.Wait()
+		}
+		if len(w.queue) == 0 && w.closed {
+			w.mu.Unlock()
+			return
+		}
+		f := w.queue[0]
+		w.queue = w.queue[1:]
+		w.mu.Unlock()
+		f.run()
+		w.inFlight.Done()
+	}
+}
+
+// quiesce blocks until every submitted closure has finished. The
+// kernel calls it during shutdown so no worker goroutine is still
+// computing (and no Future is still pending) when Run returns.
+func (w *Workers) quiesce() { w.inFlight.Wait() }
+
+// close marks the pool closed and wakes the workers so they exit.
+// Pending futures are drained first (quiesce runs before close).
+func (w *Workers) close() {
+	w.mu.Lock()
+	w.closed = true
+	w.mu.Unlock()
+	w.cond.Broadcast()
+}
+
+// Future is the handle of one forked closure.
+type Future struct {
+	fn       func()
+	done     chan struct{}
+	panicked interface{}
+	waited   bool
+}
+
+// run executes the closure, capturing a panic instead of letting it
+// kill the worker goroutine (it is re-raised on the forking process at
+// Wait/Join, where it is attributable to a task).
+func (f *Future) run() {
+	defer close(f.done)
+	defer func() {
+		if r := recover(); r != nil {
+			f.panicked = r
+		}
+	}()
+	f.fn()
+}
+
+// Wait blocks until the closure has finished. If the closure panicked,
+// the panic is re-raised here, on the forking process's goroutine.
+// Wait must be called from the process that forked the future.
+func (f *Future) Wait() {
+	<-f.done
+	f.waited = true
+	if r := f.panicked; r != nil {
+		f.panicked = nil
+		panic(fmt.Sprintf("sim: forked closure panicked: %v", r))
+	}
+}
+
+// SetWorkers sizes the kernel's compute pool: n real goroutines execute
+// forked closures (n ≤ 0 means GOMAXPROCS). With n = 1 closures run
+// inline on the forking process's goroutine. It must be called before
+// Run.
+func (k *Kernel) SetWorkers(n int) {
+	if k.started {
+		panic("sim: SetWorkers after Run")
+	}
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n == 1 {
+		k.workers = nil // inline execution, no pool goroutines
+		return
+	}
+	k.workers = newWorkers(n)
+}
+
+// Workers returns the compute-pool size (1 when no pool is configured).
+func (k *Kernel) Workers() int {
+	if k.workers == nil {
+		return 1
+	}
+	return k.workers.n
+}
+
+// Workers returns the kernel compute-pool size available to this
+// process (1 when compute runs inline). Components use it to decide
+// how finely to shard pure compute; because sharded results are always
+// combined in deterministic order, the choice never changes outputs.
+func (p *Proc) Workers() int { return p.k.Workers() }
+
+// Fork submits a pure compute closure to the kernel's worker pool and
+// returns its Future. The closure must not touch simulation state (the
+// kernel, resources, conds, other procs' data); it computes into its
+// own captured result slot. The process may park (Hold, Acquire, …)
+// between Fork and Wait — real compute then overlaps the virtual time
+// of this and other processes — but it must Wait (or Join) before
+// consuming the result or finishing.
+//
+// With no pool (Workers() == 1) the closure runs inline, making the
+// scheduling trivially deterministic; with a pool, determinism follows
+// from the purity contract above.
+func (p *Proc) Fork(fn func()) *Future {
+	f := &Future{fn: fn, done: make(chan struct{})}
+	if p.k.workers == nil {
+		f.run()
+	} else {
+		p.forks = append(p.forks, f)
+		p.k.workers.submit(f)
+	}
+	return f
+}
+
+// Join waits for every outstanding Fork of this process, re-raising the
+// first captured panic. It is idempotent and cheap when nothing is
+// outstanding; tasks with conditional early exits should `defer
+// p.Join()` so no future outlives its attempt.
+func (p *Proc) Join() {
+	forks := p.forks
+	p.forks = nil
+	for _, f := range forks {
+		if !f.waited {
+			f.Wait()
+		}
+	}
+}
+
+// ParallelFor runs fn(0) … fn(n-1) on the worker pool and returns when
+// all have finished (re-raising the first panic). Each fn(i) must obey
+// the Fork purity contract and write only to its own result slot; the
+// caller then combines slots in index order, so the result is
+// independent of worker count. The calling process does not park.
+func (p *Proc) ParallelFor(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if p.k.workers == nil || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	futs := make([]*Future, n)
+	for i := 0; i < n; i++ {
+		i := i
+		futs[i] = p.Fork(func() { fn(i) })
+	}
+	var firstPanic interface{}
+	for _, f := range futs {
+		<-f.done
+		f.waited = true
+		if f.panicked != nil && firstPanic == nil {
+			firstPanic = f.panicked
+			f.panicked = nil
+		}
+	}
+	if firstPanic != nil {
+		panic(fmt.Sprintf("sim: forked closure panicked: %v", firstPanic))
+	}
+}

@@ -1,0 +1,237 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestForkJoinResults checks that forked closures deliver results into
+// their own slots and Join collects them all, for pool sizes 1..8.
+func TestForkJoinResults(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		k := NewKernel()
+		k.SetWorkers(workers)
+		const n = 32
+		got := make([]int, n)
+		k.Spawn("fork", func(p *Proc) {
+			for i := 0; i < n; i++ {
+				i := i
+				p.Fork(func() { got[i] = i * i })
+			}
+			p.Join()
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestForkDoesNotPerturbVirtualTime asserts the core determinism
+// invariant: the event interleaving of two procs that fork compute
+// between holds is identical for any worker count.
+func TestForkDoesNotPerturbVirtualTime(t *testing.T) {
+	run := func(workers int) string {
+		k := NewKernel()
+		k.SetWorkers(workers)
+		var log []string
+		for _, name := range []string{"a", "b"} {
+			name := name
+			k.Spawn(name, func(p *Proc) {
+				for i := 0; i < 3; i++ {
+					sum := 0
+					f := p.Fork(func() {
+						for j := 0; j < 1000; j++ {
+							sum += j
+						}
+					})
+					p.Hold(time.Duration(i+1) * time.Second)
+					f.Wait()
+					log = append(log, fmt.Sprintf("%s@%d:%d", name, p.Now()/1e9, sum))
+				}
+			})
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return strings.Join(log, " ")
+	}
+	want := run(1)
+	for _, w := range []int{2, 4, runtime.GOMAXPROCS(0)} {
+		for rep := 0; rep < 3; rep++ {
+			if got := run(w); got != want {
+				t.Fatalf("workers=%d rep=%d: %q != %q", w, rep, got, want)
+			}
+		}
+	}
+}
+
+// TestParallelForCombinesInOrder verifies ParallelFor produces
+// slot-ordered results regardless of pool size.
+func TestParallelForCombinesInOrder(t *testing.T) {
+	for _, workers := range []int{1, 3, 7} {
+		k := NewKernel()
+		k.SetWorkers(workers)
+		var out string
+		k.Spawn("pf", func(p *Proc) {
+			parts := make([]string, 10)
+			p.ParallelFor(10, func(i int) { parts[i] = fmt.Sprintf("%d", i) })
+			out = strings.Join(parts, ",")
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if out != "0,1,2,3,4,5,6,7,8,9" {
+			t.Fatalf("workers=%d: %q", workers, out)
+		}
+	}
+}
+
+// TestForkPanicPropagates checks a panicking closure surfaces on the
+// forking proc at Wait, not on a pool goroutine.
+func TestForkPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		k := NewKernel()
+		k.SetWorkers(workers)
+		caught := false
+		k.Spawn("p", func(p *Proc) {
+			defer func() {
+				if r := recover(); r != nil {
+					caught = strings.Contains(fmt.Sprint(r), "boom")
+				}
+			}()
+			f := p.Fork(func() { panic("boom") })
+			f.Wait()
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if !caught {
+			t.Fatalf("workers=%d: panic not propagated to Wait", workers)
+		}
+	}
+}
+
+// TestShutdownWithInFlightCompute kills a proc that parked with forks
+// still queued/running: Run must quiesce the pool and return without
+// leaking the proc goroutine or the compute. Guards the old shutdown
+// bug where a goroutine not parked on resume hit the select/default
+// branch and leaked.
+func TestShutdownWithInFlightCompute(t *testing.T) {
+	k := NewKernel()
+	k.SetWorkers(4)
+	started := make(chan struct{})
+	var finished atomic.Int32
+	k.SpawnDaemon("victim", func(p *Proc) {
+		for i := 0; i < 8; i++ {
+			p.Fork(func() {
+				finished.Add(1)
+			})
+		}
+		close(started)
+		// Park forever with forks outstanding; the kernel kills this
+		// daemon at shutdown while compute may still be in flight.
+		p.Hold(time.Hour)
+		p.Join()
+	})
+	k.Spawn("work", func(p *Proc) {
+		<-started // make sure the daemon has forked before we finish
+		p.Hold(time.Millisecond)
+	})
+	doneCh := make(chan error, 1)
+	go func() { doneCh <- k.Run() }()
+	select {
+	case err := <-doneCh:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run hung at shutdown with in-flight compute")
+	}
+	if got := finished.Load(); got != 8 {
+		t.Fatalf("shutdown did not quiesce pool: %d/8 closures finished", got)
+	}
+}
+
+// TestShutdownKillsNeverStartedProc spawns a proc from another proc's
+// final instant so its goroutine may not have reached its first resume
+// receive when Run tears down; shutdown must still unwind it.
+func TestShutdownKillsNeverStartedProc(t *testing.T) {
+	for rep := 0; rep < 50; rep++ {
+		k := NewKernel()
+		ran := false
+		k.Spawn("parent", func(p *Proc) {
+			// Daemon scheduled at the same instant the simulation ends:
+			// it is never resumed, only killed.
+			p.Kernel().SpawnDaemon("orphan", func(q *Proc) {
+				ran = true
+			})
+		})
+		doneCh := make(chan error, 1)
+		go func() { doneCh <- k.Run() }()
+		select {
+		case err := <-doneCh:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("Run hung killing a never-started proc")
+		}
+		if ran {
+			t.Fatal("orphan daemon body ran after kill")
+		}
+	}
+}
+
+// TestForkAcrossPark exercises the overlap pattern used by map tasks:
+// fork, park on a hold (other procs run), then join — under -race this
+// is the main check that pool compute cannot race with kernel state.
+func TestForkAcrossPark(t *testing.T) {
+	k := NewKernel()
+	k.SetWorkers(4)
+	var total int64
+	for i := 0; i < 16; i++ {
+		i := i
+		k.Spawn(fmt.Sprintf("t%d", i), func(p *Proc) {
+			sum := int64(0)
+			f := p.Fork(func() {
+				for j := int64(0); j < 10000; j++ {
+					sum += j
+				}
+			})
+			p.Hold(time.Duration(i%5+1) * time.Second)
+			f.Wait()
+			total += sum
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(16 * 10000 * 9999 / 2); total != want {
+		t.Fatalf("total=%d want %d", total, want)
+	}
+}
+
+// TestSetWorkersAfterRunPanics locks in the must-configure-before-Run
+// contract.
+func TestSetWorkersAfterRunPanics(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("a", func(p *Proc) {})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic from SetWorkers after Run")
+		}
+	}()
+	k.SetWorkers(4)
+}

@@ -97,9 +97,11 @@ func (c *MapCollector) Add(key, val []byte) {
 	}
 }
 
-// sortBuffer sorts (and combines) the current buffer into a run.
+// sortBuffer sorts (and combines) the current buffer into a run. The
+// sort runs sharded on the kernel's compute pool (bytewise identical
+// to a serial sort); the virtual CPU charge is unchanged.
 func (c *MapCollector) sortBuffer() []byte {
-	sorted, n := kvenc.SortStream(c.buf)
+	sorted, n := c.rt.SortStream(c.buf)
 	c.rt.ChargeCPU(c.rt.Model.CPUSort(int64(n)))
 	if c.comb != nil {
 		sorted = c.combineRun(sorted)

@@ -108,6 +108,9 @@ func TestIntermediateOnSSD(t *testing.T) {
 }
 
 func TestDiskContentionSerializes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates two 80MB writers at full scale")
+	}
 	m := cost.Default(1)
 	k := sim.NewKernel()
 	s := NewStore(k, 0, m)

@@ -35,6 +35,14 @@
 // I/O classes (input, map spill, shuffle, reduce spill, output), the
 // Definition 1 map/reduce progress curves, task timelines, and CPU
 // utilization / iowait series.
+//
+// The simulation is deterministic but not single-threaded: the
+// Cluster's Parallelism knob (0 = GOMAXPROCS) sizes a fork/join
+// compute pool that runs pure per-task computation — chunk synthesis,
+// parsing, map functions, sorting, collector flushes — on real
+// goroutines while the discrete-event kernel schedules one simulated
+// process at a time. Reports are bit-for-bit identical for every pool
+// size (including 1); only wall-clock time changes.
 package onepass
 
 import (
