@@ -127,9 +127,10 @@ func BenchmarkJobClickCountINCHash(b *testing.B) {
 
 // Extension benchmarks.
 
-func BenchmarkExtHOPSnapshots(b *testing.B)    { benchExperiment(b, "hopsnap") }
-func BenchmarkExtCoverageAnswers(b *testing.B) { benchExperiment(b, "coverage") }
-func BenchmarkExtWindowStreaming(b *testing.B) { benchExperiment(b, "windows") }
+func BenchmarkExtHOPSnapshots(b *testing.B)        { benchExperiment(b, "hopsnap") }
+func BenchmarkExtCoverageAnswers(b *testing.B)     { benchExperiment(b, "coverage") }
+func BenchmarkExtWindowStreaming(b *testing.B)     { benchExperiment(b, "windows") }
+func BenchmarkExtNodeFailureRecovery(b *testing.B) { benchExperiment(b, "recovery") }
 
 func BenchmarkJobWindowCountDINC(b *testing.B) {
 	benchJob(b, onepass.DINCHash, func() onepass.Query {

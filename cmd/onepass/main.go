@@ -37,6 +37,12 @@ func main() {
 		rFlag       = flag.Int("r", 4, "reducers per node R")
 		traceFlag   = flag.String("trace", "", "write a Chrome trace (chrome://tracing) of task spans to this file")
 		workersFlag = flag.Int("workers", 0, "compute-pool goroutines (0=GOMAXPROCS, 1=serial; results identical)")
+
+		killFlag = flag.String("kill-node", "", "crash nodes at virtual times, e.g. 9@2m30s,3@4m")
+		slowFlag = flag.String("slow-node", "", "slow nodes by a factor, e.g. 3@4 (node 3 runs 4x slower)")
+		failFlag = flag.String("fail-maps", "", "inject map-task failures, e.g. 0:2,7:1 (chunk:attempts)")
+		ckptFlag = flag.Duration("checkpoint-every", 0, "checkpoint incremental reducer state every virtual interval (0 = off)")
+		specFlag = flag.Bool("speculate", false, "launch speculative backups for map stragglers")
 	)
 	flag.Parse()
 
@@ -117,14 +123,21 @@ func main() {
 		})
 	}
 
+	faults, err := parseFaults(*killFlag, *slowFlag, *failFlag, *specFlag)
+	if err != nil {
+		fatal(err)
+	}
+
 	rep, err := onepass.Run(onepass.Job{
-		Query:     query,
-		Input:     input,
-		Platform:  platform,
-		Cluster:   cluster,
-		Hints:     hints,
-		ScanEvery: 4096,
-		Seed:      *seedFlag,
+		Query:           query,
+		Input:           input,
+		Platform:        platform,
+		Cluster:         cluster,
+		Hints:           hints,
+		ScanEvery:       4096,
+		Seed:            *seedFlag,
+		Faults:          faults,
+		CheckpointEvery: *ckptFlag,
 	})
 	if err != nil {
 		fatal(err)
@@ -152,7 +165,7 @@ func writeChromeTrace(path string, rep *onepass.Report) error {
 	events := make([]ev, 0, len(rep.Spans))
 	for _, s := range rep.Spans {
 		tid := s.Node * 2
-		if s.Kind == "reduce" {
+		if strings.HasPrefix(s.Kind, "reduce") {
 			tid++
 		}
 		events = append(events, ev{
@@ -182,6 +195,20 @@ func printReport(rep *onepass.Report) {
 	fmt.Printf("output     (U5)  %7.1f GB (%d records)\n", float64(rep.OutputBytes)/1e9, rep.OutputRecords)
 	fmt.Printf("shuffle fetches  %d from memory, %d from disk\n", rep.MemShuffleFetches, rep.DiskShuffleFetches)
 
+	if rep.NodesLost > 0 || rep.RestartedReduceTasks > 0 || rep.ReExecutedMapTasks > 0 ||
+		rep.Checkpoints > 0 || rep.SpeculativeBackups > 0 || rep.FetchRetries > 0 {
+		fmt.Printf("recovery         %d nodes lost, %d maps re-executed, %d reduces restarted, %d fetch retries\n",
+			rep.NodesLost, rep.ReExecutedMapTasks, rep.RestartedReduceTasks, rep.FetchRetries)
+		fmt.Printf("                 %d checkpoints (%.1f GB written), %.1f GB re-read on recovery\n",
+			rep.Checkpoints, float64(rep.CheckpointBytes)/1e9, float64(rep.RecoveryReadBytes)/1e9)
+		if rep.SpeculativeBackups > 0 {
+			fmt.Printf("speculation      %d backups launched, %d won their race\n",
+				rep.SpeculativeBackups, rep.SpeculativeWins)
+		}
+		fmt.Printf("wasted cpu/node  %s (failed, aborted, and superseded attempts)\n",
+			rep.WastedCPUPerNode.Round(time.Second))
+	}
+
 	fmt.Println("\nprogress (Definition 1):")
 	var b strings.Builder
 	mapC := asciiplot.Curve{Name: "map", Marker: '#'}
@@ -204,6 +231,73 @@ func printReport(rep *onepass.Report) {
 	asciiplot.Series(&b, "cpu util", ts, util, 50)
 	asciiplot.Series(&b, "iowait", ts, iow, 50)
 	fmt.Print(b.String())
+}
+
+// parseFaults assembles the fault plan from the command-line flags.
+func parseFaults(kill, slow, fail string, speculate bool) (onepass.FaultPlan, error) {
+	f := onepass.FaultPlan{Speculate: speculate}
+	for _, part := range splitList(kill) {
+		idxS, atS, ok := strings.Cut(part, "@")
+		if !ok {
+			return f, fmt.Errorf("bad -kill-node entry %q (want idx@duration)", part)
+		}
+		idx, err1 := strconv.Atoi(idxS)
+		at, err2 := time.ParseDuration(atS)
+		if err1 != nil || err2 != nil {
+			return f, fmt.Errorf("bad -kill-node entry %q (want idx@duration)", part)
+		}
+		if f.KillNodes == nil {
+			f.KillNodes = map[int]time.Duration{}
+		}
+		f.KillNodes[idx] = at
+	}
+	for _, part := range splitList(slow) {
+		idxS, facS, ok := strings.Cut(part, "@")
+		if !ok {
+			return f, fmt.Errorf("bad -slow-node entry %q (want idx@factor)", part)
+		}
+		idx, err1 := strconv.Atoi(idxS)
+		fac, err2 := strconv.ParseFloat(facS, 64)
+		if err1 != nil || err2 != nil {
+			return f, fmt.Errorf("bad -slow-node entry %q (want idx@factor)", part)
+		}
+		if f.SlowNodes == nil {
+			f.SlowNodes = map[int]float64{}
+		}
+		f.SlowNodes[idx] = fac
+	}
+	for _, part := range splitList(fail) {
+		chunkS, nS, ok := strings.Cut(part, ":")
+		if !ok {
+			return f, fmt.Errorf("bad -fail-maps entry %q (want chunk:attempts)", part)
+		}
+		chunk, err1 := strconv.Atoi(chunkS)
+		n, err2 := strconv.Atoi(nS)
+		if err1 != nil || err2 != nil {
+			return f, fmt.Errorf("bad -fail-maps entry %q (want chunk:attempts)", part)
+		}
+		if f.MapFailures == nil {
+			f.MapFailures = map[int]int{}
+		}
+		f.MapFailures[chunk] = n
+	}
+	if len(f.MapFailures) > 0 {
+		f.FailPoint = 0.5
+	}
+	return f, nil
+}
+
+func splitList(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func parsePlatform(s string) (onepass.Platform, error) {

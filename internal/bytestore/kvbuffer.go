@@ -63,6 +63,20 @@ func (b *KVBuffer) Reset() {
 // Bytes returns the raw encoded contents (valid until Reset/Append).
 func (b *KVBuffer) Bytes() []byte { return b.buf }
 
+// AppendPair appends one pair to a raw KVBuffer-encoded stream (no
+// budget), returning the extended slice. Used to serialize tables and
+// checkpoints in the same format RangePairs reads back.
+func AppendPair(dst, key, val []byte) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	k := binary.PutUvarint(tmp[:], uint64(len(key)))
+	dst = append(dst, tmp[:k]...)
+	v := binary.PutUvarint(tmp[:], uint64(len(val)))
+	dst = append(dst, tmp[:v]...)
+	dst = append(dst, key...)
+	dst = append(dst, val...)
+	return dst
+}
+
 // Range iterates pairs in append order. The slices alias the buffer.
 func (b *KVBuffer) Range(fn func(key, val []byte) bool) {
 	RangePairs(b.buf, fn)

@@ -21,6 +21,9 @@ type bucketSet struct {
 	page   int64
 	bufs   []*bytestore.KVBuffer
 	files  []*storage.File
+	// filePairs counts pairs already flushed into each bucket file
+	// (checkpoint images need per-bucket pair counts without a rescan).
+	filePairs []int64
 
 	spilledPairs int64
 	spilledBytes int64
@@ -33,13 +36,14 @@ func newBucketSet(rt *Runtime, class storage.IOClass, prefix string, n int, page
 		n = 1
 	}
 	b := &bucketSet{
-		rt:     rt,
-		class:  class,
-		prefix: prefix,
-		h:      rt.Fam.Fn(level),
-		page:   page,
-		bufs:   make([]*bytestore.KVBuffer, n),
-		files:  make([]*storage.File, n),
+		rt:        rt,
+		class:     class,
+		prefix:    prefix,
+		h:         rt.Fam.Fn(level),
+		page:      page,
+		bufs:      make([]*bytestore.KVBuffer, n),
+		files:     make([]*storage.File, n),
+		filePairs: make([]int64, n),
 	}
 	for i := range b.bufs {
 		b.bufs[i] = bytestore.NewKVBuffer(page)
@@ -83,6 +87,7 @@ func (b *bucketSet) flush(i int) {
 	}
 	b.rt.Store.Append(b.rt.P, b.files[i], buf.Bytes(), b.class)
 	b.spilledBytes += buf.SizeBytes()
+	b.filePairs[i] += int64(buf.Len())
 	buf.Reset()
 }
 
@@ -105,6 +110,45 @@ func (b *bucketSet) readBucket(i int, segment int64) []byte {
 	b.rt.Store.Delete(f)
 	b.files[i] = nil
 	return data
+}
+
+// snapshot returns a deep copy of every bucket's cumulative contents —
+// flushed file bytes followed by the still-buffered page — plus the
+// pair count per bucket. No I/O is charged: the caller accounts the
+// checkpoint transfer itself.
+func (b *bucketSet) snapshot() (data [][]byte, pairs []int64) {
+	data = make([][]byte, len(b.bufs))
+	pairs = make([]int64, len(b.bufs))
+	for i := range b.bufs {
+		var d []byte
+		if b.files[i] != nil {
+			d = append(d, b.files[i].Data()...)
+		}
+		d = append(d, b.bufs[i].Bytes()...)
+		data[i] = d
+		pairs[i] = b.filePairs[i] + int64(b.bufs[i].Len())
+	}
+	return data, pairs
+}
+
+// restore rematerializes a snapshot into this (fresh) bucket set,
+// writing each non-empty bucket's bytes back to local disk as a spill
+// — the recovered reducer's re-created scratch state. Write buffers
+// start empty (the snapshot folded them into the file image).
+func (b *bucketSet) restore(data [][]byte, pairs []int64) {
+	if len(data) != len(b.bufs) {
+		panic("core: bucket snapshot arity mismatch")
+	}
+	for i, d := range data {
+		if len(d) == 0 {
+			continue
+		}
+		b.files[i] = b.rt.Store.Create(fmt.Sprintf("%s.bucket%d", b.prefix, i), b.class)
+		b.rt.Store.Append(b.rt.P, b.files[i], d, b.class)
+		b.filePairs[i] = pairs[i]
+		b.spilledPairs += pairs[i]
+		b.spilledBytes += int64(len(d))
+	}
 }
 
 // bucketCount sizes a bucket set so each bucket's data is expected to

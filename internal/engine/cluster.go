@@ -29,7 +29,23 @@ type node struct {
 	wbClosed  bool
 	wbCond    *sim.Cond
 	wbDrained *sim.Cond
+
+	// deadAt is the virtual time at which the node crashes (-1: never).
+	// Any task touching the node's CPU at or after that instant aborts.
+	deadAt int64
+	// declaredDead is set by the failure detector once HeartbeatTimeout
+	// has elapsed past deadAt; only then are the node's tasks reassigned
+	// and its map outputs invalidated.
+	declaredDead bool
+	// slow > 1 stretches every CPU charge on this node (the CPU half of
+	// a straggler; the store's SlowFactor is the disk half).
+	slow float64
 }
+
+// nodeAborted is thrown (via panic) out of a task attempt running on a
+// node that has crashed. Attempt runners recover it and record the
+// attempt as lost; it must never escape an attempt.
+type nodeAborted struct{ node int }
 
 func newNode(k *sim.Kernel, idx int, cfg ClusterConfig) *node {
 	n := &node{
@@ -40,6 +56,7 @@ func newNode(k *sim.Kernel, idx int, cfg ClusterConfig) *node {
 		nic:         sim.NewResource(k, fmt.Sprintf("n%d.nic", idx), 1),
 		store:       storage.NewStore(k, idx, cfg.Model),
 		cacheCap:    cfg.SlotCache,
+		deadAt:      -1,
 	}
 	if cfg.SSDIntermediate {
 		n.store.Intermediate = cost.SSD
@@ -91,13 +108,26 @@ func (n *node) closeOutput() {
 	n.wbCond.Broadcast()
 }
 
-// chargeCPU occupies one core for d and adds it to the ledger.
+// dead reports whether the node has crashed as of virtual time now.
+func (n *node) dead(now int64) bool { return n.deadAt >= 0 && now >= n.deadAt }
+
+// chargeCPU occupies one core for d and adds it to the ledger. On a
+// crashed node it aborts the calling attempt instead.
 func (n *node) chargeCPU(p *sim.Proc, d time.Duration, ledger *int64) {
+	if n.dead(p.Now()) {
+		panic(nodeAborted{n.idx})
+	}
 	if d <= 0 {
 		return
 	}
+	if n.slow > 1 {
+		d = time.Duration(float64(d) * n.slow)
+	}
 	p.Use(n.cpu, 1, d)
 	*ledger += int64(d)
+	if n.dead(p.Now()) {
+		panic(nodeAborted{n.idx})
+	}
 }
 
 // cacheAdd registers a freshly completed map output in the slot cache,

@@ -150,12 +150,20 @@ type JobSpec struct {
 	// criticizes. 0 disables snapshots.
 	SnapshotEvery float64
 
-	// Faults injects task failures to exercise the fault-tolerance
-	// path ("the sorted map output is written to disk for fault
-	// tolerance", §2.2): a failed map attempt burns its slot time and
-	// discards its output, and the task is re-executed. The job's
-	// answers must be unaffected.
+	// Faults injects task failures, node crashes, and stragglers to
+	// exercise the fault-tolerance path ("the sorted map output is
+	// written to disk for fault tolerance", §2.2): a failed map attempt
+	// burns its slot time and discards its output, and the task is
+	// re-executed. The job's answers must be unaffected.
 	Faults FaultPlan
+
+	// CheckpointEvery makes incremental reducers (INC-hash, DINC-hash)
+	// checkpoint their key→state table / FREQUENT summary plus bucket
+	// deltas every that much virtual time, so a reducer restarted after
+	// a node loss resumes from the last checkpoint and replays only the
+	// suffix of its input — versus sort-merge's restart-from-scratch.
+	// 0 disables checkpointing.
+	CheckpointEvery time.Duration
 
 	Seed int64
 }
@@ -196,18 +204,138 @@ func (s *JobSpec) validate() error {
 	if s.Hints.DistinctKeys <= 0 {
 		s.Hints.DistinctKeys = 1 << 20
 	}
+	f := &s.Faults
+	if f.FailPoint < 0 || f.FailPoint > 1 {
+		return errSpec("fault fail-point must be in [0,1]")
+	}
+	chunks := s.Input.NumChunks()
+	for chunk, n := range f.MapFailures {
+		if chunk < 0 || chunk >= chunks {
+			return errSpec("map-failure chunk index out of range")
+		}
+		if n < 0 {
+			return errSpec("map-failure count must be ≥ 0")
+		}
+	}
+	reducers := c.R * c.Nodes
+	for idx, n := range f.ReduceFailures {
+		if idx < 0 || idx >= reducers {
+			return errSpec("reduce-failure task index out of range")
+		}
+		if n < 0 {
+			return errSpec("reduce-failure count must be ≥ 0")
+		}
+	}
+	for idx, at := range f.KillNodes {
+		if idx < 0 || idx >= c.Nodes {
+			return errSpec("kill-node index out of range")
+		}
+		if at <= 0 {
+			return errSpec("kill-node time must be positive")
+		}
+	}
+	if len(f.KillNodes) >= c.Nodes {
+		return errSpec("at least one node must survive")
+	}
+	for idx, factor := range f.SlowNodes {
+		if idx < 0 || idx >= c.Nodes {
+			return errSpec("slow-node index out of range")
+		}
+		if factor < 1 {
+			return errSpec("slow-node factor must be ≥ 1")
+		}
+	}
+	if f.SpeculativeFactor == 0 {
+		f.SpeculativeFactor = 2.0
+	}
+	if f.SpeculativeFactor < 1 {
+		return errSpec("speculative factor must be ≥ 1")
+	}
+	if f.HeartbeatInterval <= 0 {
+		f.HeartbeatInterval = 3 * time.Second
+	}
+	if f.HeartbeatTimeout <= 0 {
+		f.HeartbeatTimeout = 30 * time.Second
+	}
+	if s.CheckpointEvery < 0 {
+		return errSpec("checkpoint interval must be ≥ 0")
+	}
+	if s.Platform == HOP && f.any() {
+		// HOP's eager pipelining publishes map output as it is produced;
+		// retrying an attempt would re-publish spills. Fault injection is
+		// a non-goal there (§3.3 already faults pipelining for its
+		// fault-tolerance cost) — reject rather than mis-simulate.
+		return errSpec("fault injection is not supported on the hop platform")
+	}
 	return nil
 }
 
-// FaultPlan describes injected failures.
+// FaultPlan describes injected failures: per-task attempt failures,
+// whole-node crashes at virtual times, slow (straggler) nodes, and
+// speculative re-execution of stragglers.
 type FaultPlan struct {
 	// MapFailures maps a chunk index to the number of attempts that
 	// fail before one succeeds.
 	MapFailures map[int]int
+	// ReduceFailures maps a reduce task index to the number of attempts
+	// that fail before one succeeds. A failed reduce attempt discards
+	// its partial state and provisional output and re-shuffles from
+	// scratch (or from its last checkpoint, if checkpointing is on).
+	ReduceFailures map[int]int
 	// FailPoint is the fraction of the task's work completed before
 	// the failure hits (default 1.0: fails at the very end, the worst
 	// case — all work wasted).
 	FailPoint float64
+
+	// KillNodes maps a node index to the virtual time at which the node
+	// crashes: everything running there aborts, its stored map outputs
+	// become unfetchable, and after HeartbeatTimeout without heartbeats
+	// the failure detector declares it dead, re-executes lost-but-needed
+	// map tasks on survivors, and restarts its reduce tasks elsewhere.
+	KillNodes map[int]time.Duration
+
+	// SlowNodes maps a node index to a slowdown factor ≥ 1 applied to
+	// its CPU and disks — a straggler. Speculative execution exists to
+	// beat these.
+	SlowNodes map[int]float64
+
+	// Speculate enables speculative backup attempts for map stragglers:
+	// when a task has run longer than SpeculativeFactor × the median
+	// completed-attempt duration, a backup attempt launches on another
+	// node; the first finisher wins and the loser's output is dropped.
+	Speculate bool
+
+	// SpeculativeFactor is the straggler threshold multiplier (default 2).
+	SpeculativeFactor float64
+
+	// HeartbeatInterval is how often the failure detector checks node
+	// liveness and straggler status (default 3s of virtual time).
+	HeartbeatInterval time.Duration
+
+	// HeartbeatTimeout is how long after a node's crash the detector
+	// declares it dead (default 30s): crashed-but-undeclared nodes are
+	// the window where reducers retry fetches against a silent peer.
+	HeartbeatTimeout time.Duration
+}
+
+// any reports whether the plan injects anything at all.
+func (f *FaultPlan) any() bool {
+	return len(f.MapFailures) > 0 || len(f.ReduceFailures) > 0 ||
+		len(f.KillNodes) > 0 || len(f.SlowNodes) > 0 || f.Speculate
+}
+
+// risky reports whether attempts can fail after consuming input
+// (node kills or injected reduce failures), which makes reduce output
+// provisional until the attempt commits.
+func (f *FaultPlan) risky() bool {
+	return len(f.KillNodes) > 0 || len(f.ReduceFailures) > 0
+}
+
+// needsTracker reports whether the run needs the failure-detector /
+// speculation daemon. Clean runs must not pay for it: the daemon's
+// ticks would interleave with job events and perturb recorded metrics.
+func (f *FaultPlan) needsTracker() bool {
+	return len(f.KillNodes) > 0 || f.Speculate
 }
 
 type errSpec string

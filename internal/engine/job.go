@@ -21,6 +21,7 @@ type job struct {
 
 	nodes       []*node
 	shuffle     *shuffleService
+	tracker     *tracker // nil on clean runs (no faults, no checkpointing)
 	gauges      metrics.Gauges
 	numReducers int
 	totalMaps   int
@@ -41,6 +42,17 @@ type job struct {
 	mapFinish        int64
 	approxKeys       int64
 	snapshotRecords  int64
+
+	// Recovery accounting (fault-injected runs).
+	nodesLost        int
+	reexecMaps       int
+	restartedReduces int
+	specBackups      int
+	specWins         int
+	wastedCPU        int64 // virtual ns burnt by failed/aborted/superseded attempts
+	fetchRetries     int64
+	refetchBytes     int64 // shuffle bytes fetched again by restarted reduce attempts
+	checkpoints      int64
 
 	outputs [][2]string
 	spans   []Span
@@ -88,6 +100,25 @@ func Run(spec JobSpec) (*Report, error) {
 	}
 	j.shuffle = newShuffleService(j.k, j.totalMaps, j.numReducers)
 
+	// Fault plan wiring: crash times, stragglers, the failure-detector
+	// daemon. Clean runs skip all of it — no tracker state, no daemon
+	// ticks — so their event sequences are untouched.
+	faults := &spec.Faults
+	for idx, at := range faults.KillNodes {
+		j.nodes[idx].deadAt = int64(at)
+	}
+	for idx, factor := range faults.SlowNodes {
+		j.nodes[idx].slow = factor
+		j.nodes[idx].store.SlowFactor = factor
+	}
+	if faults.any() || spec.CheckpointEvery > 0 {
+		j.tracker = newTracker(j)
+		j.shuffle.retain = faults.risky()
+		if faults.needsTracker() {
+			j.k.SpawnDaemon("tracker", func(p *sim.Proc) { j.tracker.run(p) })
+		}
+	}
+
 	sampler := metrics.NewSampler(j, cfg.ProgressInterval)
 	sampler.Start(j.k)
 
@@ -100,7 +131,7 @@ func Run(spec JobSpec) (*Report, error) {
 		chunk := c
 		n := j.nodes[assign.Node(chunk)]
 		j.k.Spawn(fmt.Sprintf("map%06d", chunk), func(p *sim.Proc) {
-			j.runMapTask(p, chunk, n)
+			j.runMapTask(p, chunk, n, false)
 		})
 	}
 	// Reduce tasks: reducer i handles partition i on node i%N; slots

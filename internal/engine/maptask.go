@@ -20,17 +20,70 @@ type collector interface {
 	Finish() (parts [][][]byte, mapped, emitted int64)
 }
 
+// mapResult is the outcome of one map attempt.
+type mapResult int
+
+const (
+	mapDone           mapResult = iota // published (or superseded-free success)
+	mapFailedInjected                  // injected failure; retry on the same node
+	mapNodeDead                        // the node crashed mid-attempt
+	mapSuperseded                      // another attempt won while this one ran
+)
+
 // runMapTask executes one map task: acquire a slot, pay startup, read
 // the chunk in segments (charging input I/O and CPU), feed records
 // through the map function into the platform's collector, write the
 // map output for fault tolerance, and publish it for shuffling.
 // Injected failures re-execute the whole attempt, as the JobTracker
-// would after a lost task.
-func (j *job) runMapTask(p *sim.Proc, chunk int, n *node) {
+// would after a lost task; a node crash re-executes it on a survivor
+// once the failure detector declares the node dead. backup marks a
+// speculative attempt racing a straggling primary.
+func (j *job) runMapTask(p *sim.Proc, chunk int, n *node, backup bool) {
 	failures := j.spec.Faults.MapFailures[chunk]
-	for attempt := 0; ; attempt++ {
-		if j.runMapAttempt(p, chunk, n, attempt, attempt < failures) {
+	t := j.tracker
+	if t == nil {
+		// Clean run (no faults configured): the legacy retry loop.
+		for attempt := 0; ; attempt++ {
+			if res, _ := j.runMapAttempt(p, chunk, n, attempt, attempt < failures, false); res == mapDone {
+				return
+			}
+		}
+	}
+	ms := t.mstates[chunk]
+	for {
+		if ms.done {
+			return // won by a backup / re-execution before we started
+		}
+		attempt := ms.attempts
+		ms.attempts++
+		inject := attempt < failures
+		if !backup {
+			ms.node = n
+		}
+		ms.running++
+		res, dur := j.runMapAttempt(p, chunk, n, attempt, inject, backup)
+		ms.running--
+		switch res {
+		case mapDone:
+			t.mapDurs = append(t.mapDurs, dur)
+			if backup {
+				j.specWins++
+			}
 			return
+		case mapFailedInjected:
+			continue
+		case mapSuperseded:
+			return
+		case mapNodeDead:
+			// Wait out the failure detector, then continue on a live
+			// node (backups included: the primary may have returned
+			// superseded against this attempt's aborted claim).
+			dead := n
+			p.WaitFor(t.cond, func() bool { return dead.declaredDead })
+			if ms.done {
+				return
+			}
+			n = t.pickNode(p.Now())
 		}
 	}
 }
@@ -90,11 +143,14 @@ func (j *job) mapSegment(segment []byte, wm mr.Watermarker, out *segMapResult) {
 // and the collector and watermark are only touched on the process
 // goroutine, so event order and all outputs are identical for any
 // worker count.
-func (j *job) runMapAttempt(p *sim.Proc, chunk int, n *node, attempt int, fail bool) (ok bool) {
+func (j *job) runMapAttempt(p *sim.Proc, chunk int, n *node, attempt int, fail, backup bool) (res mapResult, dur int64) {
 	p.Acquire(n.mapSlots, 1)
 	defer p.Release(n.mapSlots, 1)
 	defer p.Join() // drain forked compute on every exit path
 	start := p.Now()
+	if t := j.tracker; t != nil && !backup {
+		t.mstates[chunk].since = start
+	}
 	kind := "map"
 	if fail {
 		kind = "map-failed"
@@ -102,6 +158,20 @@ func (j *job) runMapAttempt(p *sim.Proc, chunk int, n *node, attempt int, fail b
 	defer func() { j.addSpan(fmt.Sprintf("%s#%d", p.Name(), attempt), kind, n.idx, start, p.Now()) }()
 	j.gauges.Enter(metrics.PhaseMap)
 	defer j.gauges.Leave(metrics.PhaseMap)
+
+	// A crashed node aborts the attempt from inside any CPU charge; the
+	// panic must not escape into the kernel.
+	var ledger int64
+	defer func() {
+		if r := recover(); r != nil {
+			if _, isAbort := r.(nodeAborted); !isAbort {
+				panic(r)
+			}
+			kind = "map-lost"
+			j.wastedCPU += ledger
+			res, dur = mapNodeDead, 0
+		}
+	}()
 
 	cfg := &j.spec.Cluster
 	model := cfg.Model
@@ -122,13 +192,13 @@ func (j *job) runMapAttempt(p *sim.Proc, chunk int, n *node, attempt int, fail b
 		failAt = int64(fp * float64(len(data)))
 	}
 
-	rt := j.newRuntime(p, n, &j.mapCPU)
+	rt := j.newRuntime(p, n, &ledger)
 	var coll collector
 	var hop *hopCollector
 	switch j.spec.Platform {
 	case SortMerge:
 		coll = sortmerge.NewMapCollector(rt, j.spec.Query, sortmerge.MapCollectorConfig{
-			Prefix:      fmt.Sprintf("m%06d", chunk),
+			Prefix:      fmt.Sprintf("m%06d.a%d", chunk, attempt),
 			Partitions:  j.numReducers,
 			Buffer:      cfg.MapBuffer,
 			MergeFactor: cfg.MergeFactor,
@@ -228,37 +298,75 @@ func (j *job) runMapAttempt(p *sim.Proc, chunk int, n *node, attempt int, fail b
 		default:
 			cpu += model.CPUOps(model.CPUHashInsert, t.out.records)
 		}
-		n.chargeCPU(p, cpu, &j.mapCPU)
+		n.chargeCPU(p, cpu, &ledger)
 		t.out = segMapResult{} // release the segment's buffers
 		if failAt >= 0 && t.end >= failAt {
 			// The attempt dies here: work and output are lost; the
 			// JobTracker reschedules the task. The deferred Join
 			// drains segments still in flight.
-			return false
+			j.wastedCPU += ledger
+			return mapFailedInjected, 0
+		}
+		if tr := j.tracker; tr != nil && tr.mstates[chunk].done {
+			// Another attempt (speculative backup or primary) already
+			// published this task's output: stop, drop everything.
+			kind = "map-superseded"
+			j.wastedCPU += ledger
+			return mapSuperseded, 0
 		}
 	}
 
 	parts, mapped, emitted := coll.Finish()
+	if tr := j.tracker; tr != nil && tr.mstates[chunk].done {
+		kind = "map-superseded"
+		j.wastedCPU += ledger
+		return mapSuperseded, 0
+	}
 	j.mapInputRecords += mapped
 	j.mapOutputRecords += emitted
 	if hop == nil {
-		j.publishMapOutput(p, n, fmt.Sprintf("map%06d.a%d.out", chunk, attempt), parts, emitted)
+		if tr := j.tracker; tr != nil {
+			// Claim the task before the publish I/O parks, so a racing
+			// backup cannot double-publish.
+			tr.mstates[chunk].done = true
+		}
+		o := j.publishMapOutput(p, n, fmt.Sprintf("map%06d.a%d.out", chunk, attempt), chunk, parts, emitted)
+		if tr := j.tracker; tr != nil {
+			ms := tr.mstates[chunk]
+			if n.declaredDead {
+				// The node was declared dead while we were publishing:
+				// the output is on a dead machine and the detector has
+				// already swept it. Undo the claim and re-execute.
+				o.lost = true
+				ms.done = false
+				ms.output = nil
+				j.mapInputRecords -= mapped
+				j.mapOutputRecords -= emitted
+				kind = "map-lost"
+				j.wastedCPU += ledger
+				return mapNodeDead, 0
+			}
+			ms.output = o
+		}
 	}
+	j.mapCPU += ledger
 
 	j.mapsDone++
 	if j.mapsDone == j.totalMaps {
 		j.mapFinish = p.Now()
 	}
 	j.shuffle.mapperFinished()
-	return true
+	return mapDone, p.Now() - start
 }
 
 // publishMapOutput writes the per-partition segments to the node's
 // disk (U3, for fault tolerance) and registers the output with the
-// shuffle service.
-func (j *job) publishMapOutput(p *sim.Proc, n *node, name string, parts [][][]byte, records int64) {
+// shuffle service. task is the map task index (-1 for HOP spill
+// pushes, which are never re-executed).
+func (j *job) publishMapOutput(p *sim.Proc, n *node, name string, task int, parts [][][]byte, records int64) *mapOutput {
 	o := &mapOutput{
 		node:      n,
+		task:      task,
 		parts:     parts,
 		partBytes: make([]int64, len(parts)),
 		partOff:   make([]int64, len(parts)),
@@ -278,6 +386,7 @@ func (j *job) publishMapOutput(p *sim.Proc, n *node, name string, parts [][][]by
 	}
 	n.cacheAdd(o)
 	j.shuffle.publish(o)
+	return o
 }
 
 // hopCollector implements MapReduce Online-style pipelining (§2.2):
@@ -367,7 +476,7 @@ func (h *hopCollector) push() {
 	}
 	h.emitted += emitted
 	h.spills++
-	h.j.publishMapOutput(h.rt.P, h.n, fmt.Sprintf("map%06d.push%d", h.chunk, h.spills), parts, emitted)
+	h.j.publishMapOutput(h.rt.P, h.n, fmt.Sprintf("map%06d.push%d", h.chunk, h.spills), -1, parts, emitted)
 }
 
 // Finish implements collector: HOP publishes incrementally, so the

@@ -2,6 +2,8 @@ package engine
 
 import (
 	"fmt"
+	"math"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/kvenc"
@@ -14,20 +16,37 @@ import (
 
 // outputWriter is the per-reduce-task sink: it counts output records,
 // batches bytes, and charges ReduceOutput disk writes on the task's
-// node (the DFS write-back).
+// node (the DFS write-back). In runs where a reduce attempt can fail
+// after emitting (node kills, injected reduce failures) it runs in
+// provisional mode: output is buffered and only folded into the job at
+// commit points (checkpoints and attempt completion), so a failed
+// attempt's tail is discarded and replay stays exactly-once.
 type outputWriter struct {
 	j       *job
 	p       *sim.Proc
 	n       *node
 	pending int64
 	flushAt int64
+
+	provisional bool
+	urecords    int64
+	ubytes      int64
+	urows       [][2]string
 }
 
 // Emit implements mr.OutputWriter.
 func (w *outputWriter) Emit(key, value []byte) {
+	sz := int64(len(key) + len(value) + 2)
+	if w.provisional {
+		w.urecords++
+		w.ubytes += sz
+		if w.j.spec.CollectOutput {
+			w.urows = append(w.urows, [2]string{string(key), string(value)})
+		}
+		return
+	}
 	j := w.j
 	j.outRecords++
-	sz := int64(len(key) + len(value) + 2)
 	j.outBytes += sz
 	if j.spec.CollectOutput {
 		j.outputs = append(j.outputs, [2]string{string(key), string(value)})
@@ -45,6 +64,26 @@ func (w *outputWriter) flush() {
 	}
 }
 
+// commit makes provisionally buffered output durable: counters fold
+// into the job and the bytes go to the write-behind queue. Safe at a
+// checkpoint because the checkpointed state carries the emitted-flags
+// that suppress re-emission when the suffix is replayed.
+func (w *outputWriter) commit() {
+	if !w.provisional {
+		return
+	}
+	w.j.outRecords += w.urecords
+	w.j.outBytes += w.ubytes
+	w.j.outputs = append(w.j.outputs, w.urows...)
+	w.n.enqueueOutput(w.ubytes)
+	w.urecords, w.ubytes, w.urows = 0, 0, nil
+}
+
+// discard drops output emitted since the last commit (failed attempt).
+func (w *outputWriter) discard() {
+	w.urecords, w.ubytes, w.urows = 0, 0, nil
+}
+
 // sync flushes and waits for the node's write-behind queue to drain —
 // the reduce task's output commit.
 func (w *outputWriter) sync() {
@@ -52,10 +91,403 @@ func (w *outputWriter) sync() {
 	w.n.syncOutput(w.p)
 }
 
-// runReduceTask executes one reduce task: acquire a slot (creating the
-// §3.2 waves when R exceeds slots), shuffle from completed mappers,
-// feed the platform reducer, and finish once all map output arrived.
+// Shuffle-fetch retry backoff against a crashed-but-undeclared node:
+// capped exponential, in virtual time.
+const (
+	fetchRetryBase = 500 * time.Millisecond
+	fetchRetryCap  = 8 * time.Second
+)
+
+// consumedBitBytes is the serialized size of one map-task entry in a
+// checkpoint's consumed-set image.
+const consumedBitBytes = 1
+
+// reduceResult is the outcome of one reduce attempt.
+type reduceResult int
+
+const (
+	reduceDone           reduceResult = iota
+	reduceFailedInjected              // injected failure; retry on the same node
+	reduceNodeDead                    // the node crashed mid-attempt
+)
+
+// runReduceTask executes one reduce task. Clean runs (and HOP, whose
+// pipelining is incompatible with re-execution) take the legacy
+// single-attempt path; fault-injected runs run an attempt loop that
+// survives injected failures and node crashes, restoring checkpointed
+// state where available.
 func (j *job) runReduceTask(p *sim.Proc, ridx int, n *node) {
+	if j.tracker == nil || j.spec.Platform == HOP {
+		j.runReduceLegacy(p, ridx, n)
+		return
+	}
+	t := j.tracker
+	rs := t.rstates[ridx]
+	rs.node = n
+	failures := j.spec.Faults.ReduceFailures[ridx]
+	for {
+		attempt := rs.attempts
+		rs.attempts++
+		if attempt > 0 {
+			j.restartedReduces++
+		}
+		inject := attempt < failures
+		switch j.runReduceAttempt(p, rs, attempt, inject) {
+		case reduceDone:
+			rs.done = true
+			return
+		case reduceFailedInjected:
+			// Retry on the same node, as the JobTracker would.
+		case reduceNodeDead:
+			dead := rs.node
+			p.WaitFor(t.cond, func() bool { return dead.declaredDead })
+			rs.node = t.pickNode(p.Now())
+		}
+	}
+}
+
+// runReduceAttempt is one attempt of a reduce task under fault
+// injection: restore checkpointed state, fetch every map task's
+// partition exactly once (retrying fetches from crashed nodes with
+// backoff, skipping lost outputs until their re-execution republishes),
+// and finish. inject fails the attempt after FailPoint of its inputs.
+func (j *job) runReduceAttempt(p *sim.Proc, rs *reduceState, attempt int, inject bool) (res reduceResult) {
+	n := rs.node
+	t := j.tracker
+	cfg := &j.spec.Cluster
+	model := cfg.Model
+	ridx := rs.ridx
+
+	// Reset the consumed-set from the last checkpoint before anything
+	// parks: the tracker reads it to decide which lost outputs are
+	// still needed, and to re-request any this attempt must re-fetch.
+	rs.consumed = make([]bool, j.totalMaps)
+	rs.consumedN = 0
+	if ck := rs.ckpt; ck != nil {
+		copy(rs.consumed, ck.consumed)
+		rs.consumedN = ck.consumedN
+	}
+	t.ensureAvailable(rs)
+
+	p.Acquire(n.reduceSlots, 1)
+	defer p.Release(n.reduceSlots, 1)
+	start := p.Now()
+	kind := "reduce"
+	defer func() { j.addSpan(fmt.Sprintf("%s.a%d", p.Name(), attempt), kind, n.idx, start, p.Now()) }()
+
+	curPhase := metrics.Phase(-1)
+	setPhase := func(ph metrics.Phase) {
+		if curPhase >= 0 {
+			j.gauges.Leave(curPhase)
+		}
+		curPhase = ph
+		if ph >= 0 {
+			j.gauges.Enter(ph)
+		}
+	}
+	defer func() { setPhase(-1) }()
+
+	var ledger int64
+	defer func() {
+		if r := recover(); r != nil {
+			if _, isAbort := r.(nodeAborted); !isAbort {
+				panic(r)
+			}
+			kind = "reduce-lost"
+			j.wastedCPU += ledger
+			res = reduceNodeDead
+		}
+	}()
+
+	rt := j.newRuntime(p, n, &ledger)
+	out := &outputWriter{j: j, p: p, n: n, flushAt: cfg.Page, provisional: j.spec.Faults.risky()}
+
+	var smr *sortmerge.Reducer
+	var mrh *core.MRHashReducer
+	var inch *core.INCHashReducer
+	var dinch *core.DINCHashReducer
+	prefix := fmt.Sprintf("r%03d.a%d", ridx, attempt)
+	switch j.spec.Platform {
+	case SortMerge:
+		smr = sortmerge.NewReducer(rt, j.spec.Query, sortmerge.ReducerConfig{
+			Prefix:      prefix,
+			Buffer:      cfg.ReduceBuffer,
+			MergeFactor: cfg.MergeFactor,
+			ReadSegment: cfg.ReadSegment,
+		})
+	case MRHash:
+		mrh = core.NewMRHashReducer(rt, j.spec.Query, core.MRHashConfig{
+			Prefix:        prefix,
+			MemBudget:     cfg.ReduceBuffer,
+			Page:          cfg.Page,
+			ReadSegment:   cfg.ReadSegment,
+			ExpectedBytes: j.expectedReducerBytes(),
+		})
+	case INCHash:
+		inch = core.NewINCHashReducer(rt, j.spec.Query, core.INCHashConfig{
+			Prefix:             prefix,
+			MemBudget:          cfg.ReduceBuffer,
+			Page:               cfg.Page,
+			ReadSegment:        cfg.ReadSegment,
+			ExpectedStateBytes: j.expectedReducerStateBytes(),
+		}, out)
+	case DINCHash:
+		dinch = core.NewDINCHashReducer(rt, j.spec.Query, core.DINCHashConfig{
+			Prefix:               prefix,
+			MemBudget:            cfg.ReduceBuffer,
+			Page:                 cfg.Page,
+			ReadSegment:          cfg.ReadSegment,
+			ExpectedDistinctKeys: j.spec.Hints.DistinctKeys / int64(j.numReducers),
+			KeyBytes:             16,
+			CoverageThreshold:    j.spec.CoverageThreshold,
+			ScanEvery:            j.spec.ScanEvery,
+		}, out)
+	}
+
+	// Resume from the last checkpoint: read the replicated image back
+	// (table/sketch + consumed-set + all bucket bytes) and rebuild the
+	// reducer, then replay only the unconsumed suffix.
+	incremental := inch != nil || dinch != nil
+	if ck := rs.ckpt; ck != nil && ck.img != nil {
+		setPhase(metrics.PhaseRecover)
+		n.store.ChargeCheckpointRead(p, ck.stateBytes+ck.bucketSum)
+		if inch != nil {
+			inch.Restore(ck.img)
+		} else {
+			dinch.Restore(ck.img)
+		}
+		setPhase(-1)
+	}
+	ckptEvery := int64(j.spec.CheckpointEvery)
+	lastCkpt := p.Now()
+
+	failN := j.totalMaps
+	if inject {
+		fp := j.spec.Faults.FailPoint
+		if fp <= 0 || fp > 1 {
+			fp = 1
+		}
+		failN = int(math.Ceil(fp * float64(j.totalMaps)))
+		if failN < 1 {
+			failN = 1
+		}
+	}
+	failNow := func() bool { return inject && rs.consumedN >= failN }
+	failOut := func() reduceResult {
+		kind = "reduce-failed"
+		j.wastedCPU += ledger
+		out.discard()
+		return reduceFailedInjected
+	}
+	if failNow() {
+		return failOut()
+	}
+
+	// Shuffle loop: fetch each map task's partition exactly once, in
+	// publication order, skipping lost outputs (their re-execution will
+	// republish) and backing off on fetches from crashed-but-undeclared
+	// nodes.
+	nextSnap := j.spec.SnapshotEvery
+	setPhase(metrics.PhaseShuffle)
+	var retry int64
+	for rs.consumedN < j.totalMaps {
+		if n.dead(p.Now()) {
+			panic(nodeAborted{n.idx})
+		}
+		var o *mapOutput
+		p.WaitFor(j.shuffle.cond, func() bool {
+			if n.dead(p.Now()) {
+				return true
+			}
+			o = nil
+			for _, cand := range j.shuffle.outputs {
+				if cand.task < 0 || cand.lost || rs.consumed[cand.task] {
+					continue
+				}
+				o = cand
+				return true
+			}
+			return false
+		})
+		if n.dead(p.Now()) || o == nil {
+			panic(nodeAborted{n.idx})
+		}
+		if o.node.dead(p.Now()) {
+			// Fetch failure: the serving node crashed but the detector
+			// has not declared it yet. Retry with capped exponential
+			// backoff; once declared, the output is marked lost and the
+			// task re-executes on a survivor.
+			j.fetchRetries++
+			if retry == 0 {
+				retry = int64(fetchRetryBase)
+			} else if retry *= 2; retry > int64(fetchRetryCap) {
+				retry = int64(fetchRetryCap)
+			}
+			p.Hold(time.Duration(retry))
+			continue
+		}
+		retry = 0
+
+		segs := o.parts[ridx]
+		size := o.partBytes[ridx]
+		if size > 0 {
+			p.Use(n.nic, 1, model.NetTime(size))
+			if o.inMemory {
+				j.memFetches++
+			} else {
+				j.diskFetches++
+				o.node.store.ReadAt(p, o.file, o.partOff[ridx], size, storage.ShuffleRead)
+			}
+			if rs.everFetched == nil {
+				rs.everFetched = make([]bool, j.totalMaps)
+			}
+			if rs.everFetched[o.task] {
+				j.refetchBytes += size // recovery traffic: fetched before, by a lost attempt
+			} else {
+				rs.everFetched[o.task] = true
+			}
+			var records int64
+			switch {
+			case smr != nil:
+				for _, seg := range segs {
+					records += int64(kvenc.Count(seg))
+					smr.Consume(seg)
+				}
+				n.chargeCPU(p, model.CPUOps(model.CPUParseByte, size), &ledger)
+			default:
+				for _, seg := range segs {
+					it := kvenc.NewIterator(seg)
+					for {
+						k, v, okp := it.Next()
+						if !okp {
+							break
+						}
+						records++
+						switch {
+						case mrh != nil:
+							mrh.Consume(k, v)
+						case inch != nil:
+							inch.Consume(k, v)
+						default:
+							dinch.Consume(k, v)
+						}
+					}
+				}
+				per := model.CPUHashInsert
+				if j.spec.Platform.Incremental() {
+					per += model.CPUCombine
+				}
+				n.chargeCPU(p, model.CPUOps(per, records), &ledger)
+			}
+		}
+		rs.consumed[o.task] = true
+		rs.consumedN++
+		j.fetchesDone++
+		j.shuffle.release(o)
+
+		if failNow() {
+			return failOut()
+		}
+		if incremental && ckptEvery > 0 && p.Now()-lastCkpt >= ckptEvery {
+			j.takeCheckpoint(p, rs, n, inch, dinch, out)
+			lastCkpt = p.Now()
+		}
+
+		if smr != nil && j.spec.SnapshotEvery > 0 {
+			frac := float64(j.mapsDone) / float64(j.totalMaps)
+			for frac >= nextSnap && nextSnap < 1 {
+				setPhase(metrics.PhaseMerge)
+				snap := &snapshotWriter{j: j, n: n}
+				smr.Snapshot(snap)
+				snap.flush()
+				setPhase(metrics.PhaseShuffle)
+				nextSnap += j.spec.SnapshotEvery
+			}
+		}
+		if smr != nil && smr.Tree().NeedsMerge() {
+			setPhase(metrics.PhaseMerge)
+			for smr.Tree().NeedsMerge() {
+				smr.Tree().MergeOnce(p, smr.Charger())
+			}
+			setPhase(metrics.PhaseShuffle)
+		}
+	}
+	setPhase(-1)
+
+	// All map output received: complete the task.
+	switch {
+	case smr != nil:
+		setPhase(metrics.PhaseMerge)
+		smr.PrepareFinal()
+		setPhase(metrics.PhaseReduce)
+		smr.Finish(out)
+		setPhase(-1)
+	case mrh != nil:
+		setPhase(metrics.PhaseReduce)
+		mrh.Finish(out)
+		setPhase(-1)
+	case inch != nil:
+		setPhase(metrics.PhaseReduce)
+		inch.Finish()
+		setPhase(-1)
+	default:
+		setPhase(metrics.PhaseReduce)
+		dinch.Finish()
+		j.approxKeys += dinch.ApproxKeys()
+		setPhase(-1)
+	}
+
+	out.commit()
+	out.sync()
+	j.reduceCPU += ledger
+	return reduceDone
+}
+
+// takeCheckpoint snapshots the incremental reducer's state (key→state
+// table or FREQUENT summary, plus bucket contents) together with the
+// consumed-set, charges the checkpoint write (full state + consumed-set
+// plus only the bucket bytes appended since the previous checkpoint),
+// and commits provisional output emitted so far.
+func (j *job) takeCheckpoint(p *sim.Proc, rs *reduceState, n *node, inch *core.INCHashReducer, dinch *core.DINCHashReducer, out *outputWriter) {
+	var img *core.StateImage
+	if inch != nil {
+		img = inch.Snapshot()
+	} else {
+		img = dinch.Snapshot()
+	}
+	ck := &ckptImage{
+		img:        img,
+		consumed:   append([]bool(nil), rs.consumed...),
+		consumedN:  rs.consumedN,
+		stateBytes: img.StateBytes() + int64(j.totalMaps)*consumedBitBytes,
+		bucketLens: img.BucketLens(),
+	}
+	write := ck.stateBytes
+	var prev []int64
+	if rs.ckpt != nil {
+		prev = rs.ckpt.bucketLens
+	}
+	for i, l := range ck.bucketLens {
+		ck.bucketSum += l
+		var pl int64
+		if i < len(prev) {
+			pl = prev[i]
+		}
+		if l > pl {
+			write += l - pl
+		}
+	}
+	n.store.ChargeCheckpointWrite(p, write)
+	rs.ckpt = ck
+	j.checkpoints++
+	out.commit()
+}
+
+// runReduceLegacy is the clean-run reduce path: acquire a slot
+// (creating the §3.2 waves when R exceeds slots), shuffle from
+// completed mappers, feed the platform reducer, and finish once all
+// map output arrived.
+func (j *job) runReduceLegacy(p *sim.Proc, ridx int, n *node) {
 	p.Acquire(n.reduceSlots, 1)
 	defer p.Release(n.reduceSlots, 1)
 	start := p.Now()

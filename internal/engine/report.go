@@ -42,6 +42,22 @@ type Report struct {
 	MemShuffleFetches  int64
 	DiskShuffleFetches int64
 
+	// Recovery accounting (fault-injected runs; all zero otherwise).
+	NodesLost            int           // nodes declared dead by the failure detector
+	ReExecutedMapTasks   int           // completed maps re-run after their output was lost
+	RestartedReduceTasks int           // reduce attempts beyond the first (failures + node loss)
+	SpeculativeBackups   int           // backup attempts launched for map stragglers
+	SpeculativeWins      int           // tasks where the backup finished first
+	FetchRetries         int64         // shuffle fetches retried against crashed nodes
+	WastedCPUPerNode     time.Duration // CPU burnt by failed/aborted/superseded attempts
+	Checkpoints          int64         // reducer checkpoints taken
+	CheckpointBytes      int64         // logical bytes written as checkpoints
+	// RecoveryReadBytes is what restarts actually re-read: checkpoint
+	// restores plus shuffle re-fetches. The recovery experiment compares
+	// this across platforms — checkpointed incremental state replays a
+	// suffix, sort-merge re-reads everything.
+	RecoveryReadBytes int64
+
 	OutputRecords    int64
 	MapInputRecords  int64
 	MapOutputRecords int64
@@ -96,6 +112,17 @@ func (j *job) report(s *metrics.Sampler) *Report {
 
 		MemShuffleFetches:  j.memFetches,
 		DiskShuffleFetches: j.diskFetches,
+
+		NodesLost:            j.nodesLost,
+		ReExecutedMapTasks:   j.reexecMaps,
+		RestartedReduceTasks: j.restartedReduces,
+		SpeculativeBackups:   j.specBackups,
+		SpeculativeWins:      j.specWins,
+		FetchRetries:         j.fetchRetries,
+		WastedCPUPerNode:     time.Duration(j.wastedCPU / int64(len(j.nodes))),
+		Checkpoints:          j.checkpoints,
+		CheckpointBytes:      m.LogicalBytes(c.WrittenBytes[storage.Checkpoint]),
+		RecoveryReadBytes:    m.LogicalBytes(c.ReadBytes[storage.Checkpoint] + j.refetchBytes),
 
 		OutputRecords:    j.outRecords,
 		MapInputRecords:  j.mapInputRecords,

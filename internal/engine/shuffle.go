@@ -21,6 +21,14 @@ type mapOutput struct {
 	inMemory bool
 	fetches  int
 	refs     int // partitions not yet fetched by all reducers
+
+	// task is the map task index this output came from (-1 for HOP
+	// spill pushes, which are never re-executed).
+	task int
+	// lost marks the output unfetchable: its node died before every
+	// reducer got its partition. Reducers skip lost outputs; the
+	// tracker re-executes the task if anyone still needs it.
+	lost bool
 }
 
 // shuffleService is the centralized "which mappers have completed"
@@ -32,6 +40,11 @@ type shuffleService struct {
 	mappersDone int
 	mappersAll  int
 	reducers    int
+
+	// retain disables end-of-fetch reclamation. Set for runs that can
+	// kill nodes or fail reduce attempts: a restarted reducer must be
+	// able to re-fetch outputs that every other reducer already drained.
+	retain bool
 }
 
 func newShuffleService(k *sim.Kernel, mappers, reducers int) *shuffleService {
@@ -73,14 +86,31 @@ func (s *shuffleService) next(p *sim.Proc, idx int) (*mapOutput, bool) {
 }
 
 // release notes that one reducer has fetched its partition; when all
-// have, the output's memory and disk file are reclaimed.
+// have, the output's memory and disk file are reclaimed (unless the
+// run retains outputs for possible re-fetch after failures).
 func (s *shuffleService) release(o *mapOutput) {
 	o.refs--
-	if o.refs == 0 {
+	if o.refs == 0 && !s.retain {
 		if o.file != nil {
 			o.node.store.Delete(o.file)
 			o.file = nil
 		}
 		o.parts = nil
 	}
+}
+
+// markLost invalidates every output stored on the given node: the
+// node's disk (and page cache) died with it. The encoded bytes are
+// kept — they back the deterministic re-execution check in tests —
+// but reducers treat lost outputs as unfetchable. Broadcast wakes
+// reducers parked waiting on an output that will now never be served.
+func (s *shuffleService) markLost(nodeIdx int) (lost []*mapOutput) {
+	for _, o := range s.outputs {
+		if o.node.idx == nodeIdx && !o.lost {
+			o.lost = true
+			lost = append(lost, o)
+		}
+	}
+	s.cond.Broadcast()
+	return lost
 }

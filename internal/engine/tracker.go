@@ -1,0 +1,243 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// mapTaskState is the tracker's view of one map task across all of its
+// attempts (original, injected-failure retries, speculative backups,
+// and post-loss re-executions).
+type mapTaskState struct {
+	task   int
+	done   bool       // a surviving attempt has published output
+	output *mapOutput // the winning output (nil while re-executing)
+
+	attempts int   // attempt ids handed out (shared by all procs of this task)
+	running  int   // attempts currently executing
+	since    int64 // start time of the current primary attempt
+	node     *node // node of the current primary attempt
+	backups  int   // speculative backups launched
+	reexecs  int   // re-executions after output loss
+}
+
+// ckptImage is one committed reducer checkpoint: the platform state
+// image, the consumed-set at the instant it was taken, and the byte
+// accounting needed for delta writes and restore reads.
+type ckptImage struct {
+	img        *core.StateImage
+	consumed   []bool
+	consumedN  int
+	stateBytes int64   // table/sketch + consumed-set bytes (rewritten each time)
+	bucketLens []int64 // cumulative per-bucket bytes (delta vs. previous image)
+	bucketSum  int64   // Σ bucketLens (all read back on restore)
+}
+
+// reduceState is the tracker's view of one reduce task.
+type reduceState struct {
+	ridx     int
+	node     *node // node of the current attempt
+	attempts int
+	done     bool
+
+	// consumed marks map tasks whose output this reducer has folded in;
+	// it is reset from the last checkpoint at each attempt start. The
+	// tracker reads it to decide which lost outputs are still needed.
+	consumed  []bool
+	consumedN int
+
+	// everFetched marks map tasks fetched in any attempt, never reset:
+	// a second fetch of the same task is recovery traffic
+	// (Report.ShuffleRefetchBytes).
+	everFetched []bool
+
+	ckpt *ckptImage // latest committed checkpoint (nil: restart from scratch)
+}
+
+// tracker is the JobTracker's failure-handling half: a heartbeat-driven
+// failure detector that declares crashed nodes dead, invalidates their
+// stored map outputs, re-executes lost-but-needed map tasks on
+// survivors, and launches speculative backups for map stragglers. It
+// only exists (and its daemon only ticks) when the fault plan calls for
+// it, so clean runs pay nothing.
+type tracker struct {
+	j       *job
+	cond    *sim.Cond
+	mstates []*mapTaskState
+	rstates []*reduceState
+	mapDurs []int64 // completed map-attempt durations (speculation baseline)
+	cursor  int     // round-robin placement cursor for recovered tasks
+}
+
+func newTracker(j *job) *tracker {
+	t := &tracker{j: j, cond: sim.NewCond(j.k, "tracker")}
+	t.mstates = make([]*mapTaskState, j.totalMaps)
+	for i := range t.mstates {
+		t.mstates[i] = &mapTaskState{task: i}
+	}
+	t.rstates = make([]*reduceState, j.numReducers)
+	for i := range t.rstates {
+		t.rstates[i] = &reduceState{ridx: i}
+	}
+	return t
+}
+
+// run is the heartbeat loop. Each tick it (1) declares dead any node
+// that has been silent longer than HeartbeatTimeout and recovers its
+// work, and (2) checks for map stragglers to back up.
+func (t *tracker) run(p *sim.Proc) {
+	f := &t.j.spec.Faults
+	for {
+		p.Hold(f.HeartbeatInterval)
+		now := p.Now()
+		for _, n := range t.j.nodes {
+			if n.dead(now) && !n.declaredDead && now-n.deadAt >= int64(f.HeartbeatTimeout) {
+				t.declare(n)
+			}
+		}
+		if f.Speculate {
+			t.speculate(now)
+		}
+	}
+}
+
+// declare marks a crashed node dead: its map outputs become
+// unfetchable, reducers that were running there will restart elsewhere
+// (their attempts abort on their own; the broadcasts wake any that are
+// parked), and completed-but-lost map tasks still needed by some
+// reducer are re-executed on survivors.
+func (t *tracker) declare(n *node) {
+	n.declaredDead = true
+	t.j.nodesLost++
+	lost := t.j.shuffle.markLost(n.idx)
+	for _, o := range lost {
+		if o.task < 0 {
+			continue
+		}
+		ms := t.mstates[o.task]
+		if !ms.done || ms.output != o {
+			continue // superseded already, or still being recomputed
+		}
+		if !t.needed(o.task) {
+			continue // every reducer (post-restart) already consumed it
+		}
+		t.reexec(ms)
+	}
+	t.cond.Broadcast()
+}
+
+// needed reports whether any reducer still has to fetch the given map
+// task's output, evaluating reducers on dead nodes at their
+// last-checkpoint consumed-set (that is where they will restart from).
+func (t *tracker) needed(task int) bool {
+	now := t.j.k.Now()
+	for _, rs := range t.rstates {
+		if rs.done {
+			continue
+		}
+		if rs.node != nil && rs.node.dead(now) {
+			if rs.ckpt == nil || !rs.ckpt.consumed[task] {
+				return true
+			}
+			continue
+		}
+		if rs.consumed == nil || !rs.consumed[task] {
+			return true
+		}
+	}
+	return false
+}
+
+// reexec schedules a fresh execution of a completed map task whose
+// output was lost: the task leaves the done set (map progress and the
+// shuffle completion count roll back) and a new process runs it on a
+// surviving node.
+func (t *tracker) reexec(ms *mapTaskState) {
+	ms.done = false
+	ms.output = nil
+	t.j.reexecMaps++
+	t.j.mapsDone--
+	t.j.shuffle.mappersDone--
+	n := t.pickNode(t.j.k.Now())
+	idx := ms.reexecs
+	ms.reexecs++
+	t.j.k.Spawn(fmt.Sprintf("map%06d.r%d", ms.task, idx), func(p *sim.Proc) {
+		t.j.runMapTask(p, ms.task, n, false)
+	})
+}
+
+// ensureAvailable re-requests any lost map outputs a restarting reduce
+// attempt still needs. It closes the window where a loss was judged
+// not-needed at declaration time (everyone had consumed it) but a later
+// attempt failure rolled a reducer's consumed-set back past it.
+func (t *tracker) ensureAvailable(rs *reduceState) {
+	for task, ms := range t.mstates {
+		if rs.consumed[task] {
+			continue
+		}
+		if ms.done && ms.output != nil && ms.output.lost {
+			t.reexec(ms)
+		}
+	}
+}
+
+// speculate launches backup attempts for map stragglers: tasks whose
+// current attempt has been running longer than SpeculativeFactor times
+// the median completed-attempt duration, once enough attempts have
+// completed to estimate that median.
+func (t *tracker) speculate(now int64) {
+	minSamples := t.j.totalMaps / 4
+	if minSamples < 3 {
+		minSamples = 3
+	}
+	if len(t.mapDurs) < minSamples {
+		return
+	}
+	durs := append([]int64(nil), t.mapDurs...)
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	median := durs[len(durs)/2]
+	threshold := int64(t.j.spec.Faults.SpeculativeFactor * float64(median))
+	for _, ms := range t.mstates {
+		if ms.done || ms.backups > 0 || ms.running == 0 {
+			continue
+		}
+		if now-ms.since <= threshold {
+			continue
+		}
+		n := t.pickNodeExcluding(now, ms.node)
+		if n == nil {
+			continue
+		}
+		ms.backups++
+		t.j.specBackups++
+		task := ms.task
+		t.j.k.Spawn(fmt.Sprintf("map%06d.b%d", task, ms.backups), func(p *sim.Proc) {
+			t.j.runMapTask(p, task, n, true)
+		})
+	}
+}
+
+// pickNode returns the next live node round-robin. The validated fault
+// plan guarantees at least one node survives the run.
+func (t *tracker) pickNode(now int64) *node {
+	return t.pickNodeExcluding(now, nil)
+}
+
+// pickNodeExcluding is pickNode skipping one node (backup placement
+// must avoid the straggler's own machine). Returns nil if no other
+// live node exists.
+func (t *tracker) pickNodeExcluding(now int64, skip *node) *node {
+	nodes := t.j.nodes
+	for i := 0; i < len(nodes); i++ {
+		n := nodes[t.cursor%len(nodes)]
+		t.cursor++
+		if n == skip || n.declaredDead || n.dead(now) {
+			continue
+		}
+		return n
+	}
+	return nil
+}

@@ -204,3 +204,62 @@ func (su *Summary) Coverage(e *Entry) float64 {
 	t := float64(e.t)
 	return t / (t + float64(su.m)/float64(su.s+1))
 }
+
+// Saved is one monitored key in a serialized summary snapshot
+// (reducer checkpointing): the key, its state, and the raw counters
+// that make restoration behavior-identical.
+type Saved struct {
+	Key   []byte
+	State []byte
+	C     int64 // raw counter (effective count = C − debt)
+	T     int64
+	Seq   int64
+}
+
+// Save snapshots the summary for checkpointing: deep copies of every
+// monitored entry in age order, plus the global counters. The summary
+// is not modified.
+func (su *Summary) Save() (entries []Saved, debt, seq, m int64) {
+	for _, e := range su.Entries() {
+		entries = append(entries, Saved{
+			Key:   append([]byte(nil), e.Key...),
+			State: append([]byte(nil), e.State...),
+			C:     e.c,
+			T:     e.t,
+			Seq:   e.seq,
+		})
+	}
+	return entries, su.debt, su.seq, su.m
+}
+
+// Load reconstructs a summary from a Save snapshot. Because the heap
+// order (c, seq) is a strict total order over entries, the rebuilt
+// structure makes exactly the decisions the original would have: a
+// restored reducer replaying the same tuple suffix reproduces the
+// original run bit for bit.
+func Load(s int, entries []Saved, debt, seq, m int64) *Summary {
+	su := New(s)
+	su.debt, su.seq, su.m = debt, seq, m
+	for _, sv := range entries {
+		e := &Entry{
+			Key:   append([]byte(nil), sv.Key...),
+			State: append([]byte(nil), sv.State...),
+			c:     sv.C,
+			t:     sv.T,
+			seq:   sv.Seq,
+		}
+		su.entries[string(e.Key)] = e
+		heap.Push(&su.h, e)
+	}
+	return su
+}
+
+// SavedBytes returns the serialized footprint of a Save snapshot, for
+// checkpoint I/O accounting: keys, states, and three counters each.
+func SavedBytes(entries []Saved) int64 {
+	var b int64
+	for _, sv := range entries {
+		b += int64(len(sv.Key)+len(sv.State)) + 24
+	}
+	return b
+}

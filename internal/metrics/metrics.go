@@ -32,6 +32,7 @@ const (
 	PhaseShuffle              // reduce tasks currently fetching map output
 	PhaseMerge                // reduce tasks in multi-pass merge work
 	PhaseReduce               // reduce tasks applying reduce/finalize + output
+	PhaseRecover              // restarted reduce tasks reloading checkpointed state
 	NumPhases
 )
 
@@ -46,6 +47,8 @@ func (p Phase) String() string {
 		return "merge"
 	case PhaseReduce:
 		return "reduce"
+	case PhaseRecover:
+		return "recover"
 	}
 	return "phase?"
 }

@@ -17,6 +17,7 @@ package storage
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/cost"
 	"repro/internal/sim"
@@ -33,6 +34,7 @@ const (
 	ReduceSpill                 // U4: reduce-side merge/bucket spills
 	ReduceOutput                // U5: job output
 	ShuffleRead                 // shuffle fetches served from disk (2nd-wave reducers)
+	Checkpoint                  // reducer-state checkpoints (writes) and restores (reads)
 	NumIOClasses
 )
 
@@ -51,6 +53,8 @@ func (c IOClass) String() string {
 		return "reduce-output"
 	case ShuffleRead:
 		return "shuffle-read"
+	case Checkpoint:
+		return "checkpoint"
 	}
 	return "io?"
 }
@@ -124,6 +128,11 @@ type Store struct {
 	// paper's SSD experiment.
 	Intermediate cost.Device
 	liveBytes    int64
+
+	// SlowFactor > 1 stretches every seek and transfer on this node's
+	// devices by that multiple — the disk half of a straggler node
+	// (FaultPlan.SlowNodes). 0 or 1 means nominal speed.
+	SlowFactor float64
 }
 
 // NewStore creates a node-local store.
@@ -152,7 +161,7 @@ func (s *Store) LiveBytes() int64 { return s.liveBytes }
 // deviceFor maps an I/O class to a device under the placement policy.
 func (s *Store) deviceFor(class IOClass) cost.Device {
 	switch class {
-	case MapInput, ReduceOutput:
+	case MapInput, ReduceOutput, Checkpoint:
 		return cost.HDD
 	default:
 		return s.Intermediate
@@ -237,8 +246,36 @@ func (s *Store) ChargeOutputWrite(p *sim.Proc, physBytes int64) {
 	s.counters.WriteReqs[ReduceOutput]++
 }
 
+// ChargeCheckpointWrite accounts for writing physBytes of reducer
+// checkpoint state. Like ChargeOutputWrite the bytes are not retained:
+// the checkpoint is modelled as replicated off-node (it must survive
+// the node), so the engine keeps the recoverable image itself and the
+// store only charges the local write leg.
+func (s *Store) ChargeCheckpointWrite(p *sim.Proc, physBytes int64) {
+	if physBytes <= 0 {
+		return
+	}
+	s.charge(p, cost.HDD, physBytes)
+	s.counters.WrittenBytes[Checkpoint] += physBytes
+	s.counters.WriteReqs[Checkpoint]++
+}
+
+// ChargeCheckpointRead accounts for a restarted reducer reading back
+// physBytes of checkpoint state onto this node.
+func (s *Store) ChargeCheckpointRead(p *sim.Proc, physBytes int64) {
+	if physBytes <= 0 {
+		return
+	}
+	s.charge(p, cost.HDD, physBytes)
+	s.counters.ReadBytes[Checkpoint] += physBytes
+	s.counters.ReadReqs[Checkpoint]++
+}
+
 // charge occupies the device arm for seek + transfer time.
 func (s *Store) charge(p *sim.Proc, dev cost.Device, physBytes int64) {
 	d := s.model.SeekTime(dev) + s.model.TransferTime(dev, physBytes)
+	if s.SlowFactor > 1 {
+		d = time.Duration(float64(d) * s.SlowFactor)
+	}
 	p.Use(s.arms[dev], 1, d)
 }

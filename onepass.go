@@ -84,6 +84,10 @@ type (
 	Cluster = engine.ClusterConfig
 	// Job is a complete job submission.
 	Job = engine.JobSpec
+	// FaultPlan injects node crashes, stragglers, and task failures
+	// into a run (Job.Faults); answers are unchanged, recovery costs
+	// are reported.
+	FaultPlan = engine.FaultPlan
 	// Report is the result of a run.
 	Report = engine.Report
 	// ProgressPoint is one point of the Definition 1 progress curve.
