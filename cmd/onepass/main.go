@@ -43,6 +43,12 @@ func main() {
 		failFlag = flag.String("fail-maps", "", "inject map-task failures, e.g. 0:2,7:1 (chunk:attempts)")
 		ckptFlag = flag.Duration("checkpoint-every", 0, "checkpoint incremental reducer state every virtual interval (0 = off)")
 		specFlag = flag.Bool("speculate", false, "launch speculative backups for map stragglers")
+
+		sumFlag     = flag.Bool("checksums", false, "CRC32C-frame every persisted stream and verify on read")
+		ioErrFlag   = flag.Float64("io-error-rate", 0, "per-request probability of a transient disk I/O error")
+		corruptFlag = flag.Float64("corrupt-rate", 0, "per-write probability of a persisted bit flip (needs -checksums)")
+		tornFlag    = flag.Bool("torn-writes", false, "tear checkpoint tails when a node is killed (needs -checksums and -kill-node)")
+		skipFlag    = flag.Int64("skip-bad-records", 0, "bad-record quarantine budget per map task (0 = poison records fail the job)")
 	)
 	flag.Parse()
 
@@ -127,6 +133,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	cluster.Checksums = *sumFlag
+	faults.Disk = onepass.DiskFaultPlan{
+		IOErrorRate: *ioErrFlag,
+		CorruptRate: *corruptFlag,
+		TornWrites:  *tornFlag,
+	}
 
 	rep, err := onepass.Run(onepass.Job{
 		Query:           query,
@@ -138,6 +150,7 @@ func main() {
 		Seed:            *seedFlag,
 		Faults:          faults,
 		CheckpointEvery: *ckptFlag,
+		SkipBadRecords:  *skipFlag,
 	})
 	if err != nil {
 		fatal(err)
@@ -207,6 +220,17 @@ func printReport(rep *onepass.Report) {
 		}
 		fmt.Printf("wasted cpu/node  %s (failed, aborted, and superseded attempts)\n",
 			rep.WastedCPUPerNode.Round(time.Second))
+	}
+
+	if rep.ChecksumOverheadBytes > 0 || rep.IORetries > 0 ||
+		rep.CorruptFramesDetected > 0 || rep.QuarantinedRecords > 0 {
+		fmt.Printf("integrity        %d I/O retries, %d corrupt frames detected, %d torn tails repaired, %d records quarantined\n",
+			rep.IORetries, rep.CorruptFramesDetected, rep.TornWritesRepaired, rep.QuarantinedRecords)
+		if rep.ChecksumOverheadBytes > 0 {
+			fmt.Printf("checksum bytes   %.3f GB framing overhead (%.2f%% of total I/O)\n",
+				float64(rep.ChecksumOverheadBytes)/1e9,
+				100*float64(rep.ChecksumOverheadBytes)/float64(rep.TotalIOBytes))
+		}
 	}
 
 	fmt.Println("\nprogress (Definition 1):")

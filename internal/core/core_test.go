@@ -491,6 +491,9 @@ func TestHashMapCollectorRaw(t *testing.T) {
 					}
 					seen[string(k)] = pi
 				}
+				if err := it.Err(); err != nil {
+					t.Fatalf("corrupt segment: %v", err)
+				}
 			}
 		}
 		if total != 1000 {
@@ -534,6 +537,9 @@ func TestHashMapCollectorCombining(t *testing.T) {
 						break
 					}
 					got[string(k)] += int64(binary.BigEndian.Uint64(st))
+				}
+				if err := it.Err(); err != nil {
+					t.Fatalf("corrupt segment: %v", err)
 				}
 			}
 		}

@@ -240,13 +240,15 @@ func (r *MRHashReducer) sortAndStream(data []byte, out mr.OutputWriter) {
 	r.rt.ChargeCPU(r.rt.Model.CPUSort(int64(n)))
 	var records int64
 	batch := r.rt.Batch(r.rt.Model.CPUReduceRec)
-	kvenc.MergeGroups([][]byte{sorted}, func(key []byte, vals kvenc.ValueIter) bool {
+	if err := kvenc.MergeGroupsChecked([][]byte{sorted}, func(key []byte, vals kvenc.ValueIter) bool {
 		grp := &kvenc.CountingIter{Inner: vals}
 		r.q.Reduce(key, grp, out)
 		records += grp.N
 		batch.Add(grp.N)
 		return true
-	})
+	}); err != nil {
+		panic(fmt.Errorf("core: corrupt pairs in %s external sort: %w", r.prefix, err))
+	}
 	batch.Flush()
 	r.rt.FnRecords(records)
 }

@@ -18,6 +18,7 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/cost"
@@ -79,7 +80,13 @@ func (rt *Runtime) SortStream(data []byte) ([]byte, int) {
 	for _, c := range counts {
 		n += c
 	}
-	return kvenc.MergeStream(sorted), n
+	merged, err := kvenc.MergeStreamChecked(sorted)
+	if err != nil {
+		// The shards were just produced in memory by SortStream; a
+		// corrupt shard is a bug, never a recoverable disk fault.
+		panic(fmt.Errorf("core: sharded sort produced a corrupt run: %w", err))
+	}
+	return merged, n
 }
 
 // ChargeOps bills n operations at per-logical-op cost per.

@@ -61,6 +61,7 @@ func newNode(k *sim.Kernel, idx int, cfg ClusterConfig) *node {
 	if cfg.SSDIntermediate {
 		n.store.Intermediate = cost.SSD
 	}
+	n.store.Checksums = cfg.Checksums
 	n.wbCond = sim.NewCond(k, fmt.Sprintf("n%d.writeback", idx))
 	n.wbDrained = sim.NewCond(k, fmt.Sprintf("n%d.drained", idx))
 	k.Spawn(fmt.Sprintf("n%d.writer", idx), func(p *sim.Proc) { n.writeBehind(p) })

@@ -19,6 +19,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/dfs"
 	"repro/internal/mr"
+	"repro/internal/storage"
 )
 
 // Platform selects the data path.
@@ -92,6 +93,15 @@ type ClusterConfig struct {
 	// compute inline. Results are bit-for-bit identical for any value
 	// — this knob trades wall-clock time only, never virtual time.
 	Parallelism int
+
+	// Checksums enables end-to-end CRC32C framing of every persisted
+	// stream (map spills, map outputs, reduce buckets/spills,
+	// checkpoints, shuffle payloads): writes record frame checksums,
+	// reads verify them, and the framing bytes are charged through the
+	// cost model and reported per I/O class
+	// (Report.ChecksumOverheadBytes). Off (the default), no metadata
+	// is kept and no byte or nanosecond of overhead is paid.
+	Checksums bool
 }
 
 // PaperCluster returns the paper's evaluation cluster (§2.3): 10 nodes
@@ -164,6 +174,13 @@ type JobSpec struct {
 	// suffix of its input — versus sort-merge's restart-from-scratch.
 	// 0 disables checkpointing.
 	CheckpointEvery time.Duration
+
+	// SkipBadRecords is the bad-record quarantine budget per map task
+	// (Hadoop's skip mode): a record whose Map call panics is skipped
+	// and counted (Report.QuarantinedRecords) instead of failing the
+	// job, up to this many records per task. 0 (the default) disables
+	// quarantine — a poison record fails the job loudly.
+	SkipBadRecords int64
 
 	Seed int64
 }
@@ -260,12 +277,54 @@ func (s *JobSpec) validate() error {
 	if s.CheckpointEvery < 0 {
 		return errSpec("checkpoint interval must be ≥ 0")
 	}
+	if s.SkipBadRecords < 0 {
+		return errSpec("skip-bad-records budget must be ≥ 0")
+	}
+	d := &f.Disk
+	if d.IOErrorRate < 0 || d.IOErrorRate >= 1 {
+		return errSpec("disk io-error rate must be in [0,1)")
+	}
+	if d.CorruptRate < 0 || d.CorruptRate >= 1 {
+		return errSpec("disk corrupt rate must be in [0,1)")
+	}
+	for _, cl := range d.Classes {
+		if cl < 0 || cl >= storage.NumIOClasses {
+			return errSpec("disk-fault I/O class out of range")
+		}
+	}
+	for _, idx := range d.Nodes {
+		if idx < 0 || idx >= c.Nodes {
+			return errSpec("disk-fault node index out of range")
+		}
+	}
+	if d.From < 0 || (d.To != 0 && d.To <= d.From) {
+		return errSpec("disk-fault window must have 0 ≤ from < to")
+	}
+	if d.needsRecovery() && !c.Checksums {
+		// Without checksums a flipped bit or torn tail would silently
+		// change answers; reject rather than mis-simulate.
+		return errSpec("corruption and torn-write injection require Cluster.Checksums")
+	}
+	if d.TornWrites && len(f.KillNodes) == 0 {
+		return errSpec("torn writes surface at node kills: KillNodes is required")
+	}
+	if d.any() && d.Seed == 0 {
+		d.Seed = s.Seed ^ 0x5eed1e57
+	}
 	if s.Platform == HOP && f.any() {
 		// HOP's eager pipelining publishes map output as it is produced;
 		// retrying an attempt would re-publish spills. Fault injection is
 		// a non-goal there (§3.3 already faults pipelining for its
 		// fault-tolerance cost) — reject rather than mis-simulate.
 		return errSpec("fault injection is not supported on the hop platform")
+	}
+	if s.Platform == HOP && d.needsRecovery() {
+		return errSpec("the hop platform supports only transient disk errors, not corruption")
+	}
+	if s.Platform == HOP && d.IOErrorRate > 0.25 {
+		// HOP's legacy task paths have no attempt-restart ladder; keep
+		// the retry-exhaustion probability (rate^12) negligible.
+		return errSpec("hop disk io-error rate must be ≤ 0.25")
 	}
 	return nil
 }
@@ -316,6 +375,113 @@ type FaultPlan struct {
 	// declares it dead (default 30s): crashed-but-undeclared nodes are
 	// the window where reducers retry fetches against a silent peer.
 	HeartbeatTimeout time.Duration
+
+	// Disk injects data-plane faults: transient I/O errors, write-time
+	// bit flips, and torn checkpoint tails.
+	Disk DiskFaultPlan
+}
+
+// DiskFaultPlan describes deterministic, seeded disk-fault injection —
+// the quiet failure mode under the node crashes above: flaky devices,
+// bit rot, and writes cut mid-flight. Decisions are drawn per request
+// from the seed, so a faulted run is exactly reproducible for any
+// worker-pool size.
+type DiskFaultPlan struct {
+	// Seed drives all injection decisions (0: derived from JobSpec.Seed).
+	Seed int64
+
+	// IOErrorRate is the per-request probability of a transient I/O
+	// error. The storage layer retries with exponential backoff
+	// (bounded); the job's answers are unchanged, only virtual time and
+	// Report.IORetries grow.
+	IOErrorRate float64
+
+	// CorruptRate is the per-frame probability that a write is
+	// persisted with one flipped bit. Requires Cluster.Checksums: the
+	// flip is caught on the next read of the frame and recovered —
+	// shuffle reads re-fetch then re-execute the source map task;
+	// spill/bucket reads restart the attempt; checkpoint images fall
+	// back to the previous good one.
+	CorruptRate float64
+
+	// TornWrites truncates the tail of the latest checkpoint image of
+	// every reducer on a node at the moment that node is declared dead
+	// (the replication pipeline was cut mid-flight). Requires
+	// KillNodes and Cluster.Checksums; recovery falls back to the
+	// previous good image, then to full replay.
+	TornWrites bool
+
+	// Classes restricts injection to these I/O classes (empty: all).
+	Classes []storage.IOClass
+
+	// Nodes restricts injection to these node indices (empty: all).
+	Nodes []int
+
+	// From/To bound the injection window in virtual time (To = 0
+	// means no upper bound).
+	From, To time.Duration
+}
+
+// any reports whether the plan injects anything at all.
+func (d *DiskFaultPlan) any() bool {
+	return d.IOErrorRate > 0 || d.CorruptRate > 0 || d.TornWrites
+}
+
+// needsRecovery reports whether the plan injects persistent damage
+// (anything beyond storage-internal transient retries), which needs
+// the tracker's re-execution machinery and checksums to catch it.
+func (d *DiskFaultPlan) needsRecovery() bool {
+	return d.CorruptRate > 0 || d.TornWrites
+}
+
+// windowNS reports whether virtual time now (ns) falls inside the
+// injection window.
+func (d *DiskFaultPlan) windowNS(now int64) bool {
+	return now >= int64(d.From) && (d.To == 0 || now < int64(d.To))
+}
+
+// targetsNode reports whether injection applies on node idx.
+func (d *DiskFaultPlan) targetsNode(idx int) bool {
+	if len(d.Nodes) == 0 {
+		return true
+	}
+	for _, n := range d.Nodes {
+		if n == idx {
+			return true
+		}
+	}
+	return false
+}
+
+// classMask expands the Classes list (empty: all) into a lookup array.
+func (d *DiskFaultPlan) classMask() [storage.NumIOClasses]bool {
+	var m [storage.NumIOClasses]bool
+	if len(d.Classes) == 0 {
+		for i := range m {
+			m[i] = true
+		}
+		return m
+	}
+	for _, c := range d.Classes {
+		m[c] = true
+	}
+	return m
+}
+
+// storeFaults builds the storage-layer injection config for one node,
+// or nil if the node is untargeted or nothing is injected.
+func (d *DiskFaultPlan) storeFaults(idx int) *storage.DiskFaults {
+	if !d.any() || !d.targetsNode(idx) {
+		return nil
+	}
+	return &storage.DiskFaults{
+		Seed:        d.Seed,
+		IOErrorRate: d.IOErrorRate,
+		CorruptRate: d.CorruptRate,
+		Classes:     d.classMask(),
+		From:        int64(d.From),
+		To:          int64(d.To),
+	}
 }
 
 // any reports whether the plan injects anything at all.

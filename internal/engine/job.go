@@ -54,6 +54,12 @@ type job struct {
 	refetchBytes     int64 // shuffle bytes fetched again by restarted reduce attempts
 	checkpoints      int64
 
+	// Data-plane integrity accounting (disk-fault runs).
+	quarantined  int64 // bad records skipped under SkipBadRecords
+	tornRepaired int64 // torn checkpoint images detected and fallen back from
+	ckptCorrupt  int64 // bit-flipped checkpoint images detected at restore
+	ckptSeq      int64 // per-job checkpoint injection sequence
+
 	outputs [][2]string
 	spans   []Span
 }
@@ -100,9 +106,9 @@ func Run(spec JobSpec) (*Report, error) {
 	}
 	j.shuffle = newShuffleService(j.k, j.totalMaps, j.numReducers)
 
-	// Fault plan wiring: crash times, stragglers, the failure-detector
-	// daemon. Clean runs skip all of it — no tracker state, no daemon
-	// ticks — so their event sequences are untouched.
+	// Fault plan wiring: crash times, stragglers, disk faults, the
+	// failure-detector daemon. Clean runs skip all of it — no tracker
+	// state, no daemon ticks — so their event sequences are untouched.
 	faults := &spec.Faults
 	for idx, at := range faults.KillNodes {
 		j.nodes[idx].deadAt = int64(at)
@@ -111,9 +117,19 @@ func Run(spec JobSpec) (*Report, error) {
 		j.nodes[idx].slow = factor
 		j.nodes[idx].store.SlowFactor = factor
 	}
-	if faults.any() || spec.CheckpointEvery > 0 {
+	for idx, n := range j.nodes {
+		if df := faults.Disk.storeFaults(idx); df != nil {
+			n.store.SetFaults(df)
+		}
+	}
+	// Disk faults need the tracker too (except on HOP, where validation
+	// only admits transient errors the storage layer retries
+	// internally): corrupt map outputs re-execute through it, and
+	// attempt restarts after exhausted retry budgets run on its loops.
+	diskRecovery := faults.Disk.any() && spec.Platform != HOP
+	if faults.any() || diskRecovery || spec.CheckpointEvery > 0 {
 		j.tracker = newTracker(j)
-		j.shuffle.retain = faults.risky()
+		j.shuffle.retain = faults.risky() || faults.Disk.any()
 		if faults.needsTracker() {
 			j.k.SpawnDaemon("tracker", func(p *sim.Proc) { j.tracker.run(p) })
 		}

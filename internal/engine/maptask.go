@@ -93,9 +93,10 @@ func (j *job) runMapTask(p *sim.Proc, chunk int, n *node, backup bool) {
 // queries, per-record marks so the replay can advance the watermark
 // at exactly the points the serial engine would.
 type segMapResult struct {
-	pairs   []byte    // kvenc stream of Map emissions, in order
-	marks   []recMark // one per input record (watermarked queries only)
-	records int64
+	pairs       []byte    // kvenc stream of Map emissions, in order
+	marks       []recMark // one per input record (watermarked queries only)
+	records     int64
+	quarantined int64 // bad records skipped under the quarantine budget
 }
 
 // recMark locates one input record's contribution in a segMapResult.
@@ -107,8 +108,12 @@ type recMark struct {
 // mapSegment applies the map function to every record of one segment,
 // accumulating emissions into out. It is pure: it reads only the
 // segment (and the query, whose Map must be receiver-pure) and writes
-// only out, so it is safe to run on the kernel's compute pool.
+// only out, so it is safe to run on the kernel's compute pool. With a
+// quarantine budget set, a record whose Map panics is rolled back and
+// counted instead of failing the job (budget enforcement happens on
+// the process goroutine, where the per-task total is deterministic).
 func (j *job) mapSegment(segment []byte, wm mr.Watermarker, out *segMapResult) {
+	quarantine := j.spec.SkipBadRecords > 0
 	for len(segment) > 0 {
 		nl := bytes.IndexByte(segment, '\n')
 		var line []byte
@@ -121,15 +126,41 @@ func (j *job) mapSegment(segment []byte, wm mr.Watermarker, out *segMapResult) {
 			continue
 		}
 		out.records++
-		var emitted int32
-		j.spec.Query.Map(line, func(k, v []byte) {
-			out.pairs = kvenc.AppendPair(out.pairs, k, v)
-			emitted++
-		})
-		if wm != nil {
-			out.marks = append(out.marks, recMark{ts: wm.RecordTime(line), pairs: emitted})
+		if quarantine {
+			j.quarantineRecord(line, wm, out)
+		} else {
+			j.mapRecord(line, wm, out)
 		}
 	}
+}
+
+// mapRecord feeds one input record through the map function, appending
+// its emissions and (for watermarked queries) its record mark.
+func (j *job) mapRecord(line []byte, wm mr.Watermarker, out *segMapResult) {
+	var emitted int32
+	j.spec.Query.Map(line, func(k, v []byte) {
+		out.pairs = kvenc.AppendPair(out.pairs, k, v)
+		emitted++
+	})
+	if wm != nil {
+		out.marks = append(out.marks, recMark{ts: wm.RecordTime(line), pairs: emitted})
+	}
+}
+
+// quarantineRecord is mapRecord under the bad-record quarantine
+// (Hadoop's skip mode): a record whose Map (or RecordTime) panics is
+// rolled back — emissions truncated, no watermark mark — and counted,
+// so the replayed stream is exactly as if the record never existed.
+func (j *job) quarantineRecord(line []byte, wm mr.Watermarker, out *segMapResult) {
+	pairs, marks := len(out.pairs), len(out.marks)
+	defer func() {
+		if r := recover(); r != nil {
+			out.pairs = out.pairs[:pairs]
+			out.marks = out.marks[:marks]
+			out.quarantined++
+		}
+	}()
+	j.mapRecord(line, wm, out)
 }
 
 // runMapAttempt executes one attempt; fail=true makes it abort after
@@ -159,17 +190,25 @@ func (j *job) runMapAttempt(p *sim.Proc, chunk int, n *node, attempt int, fail, 
 	j.gauges.Enter(metrics.PhaseMap)
 	defer j.gauges.Leave(metrics.PhaseMap)
 
-	// A crashed node aborts the attempt from inside any CPU charge; the
-	// panic must not escape into the kernel.
+	// A crashed node aborts the attempt from inside any CPU charge, and
+	// a checksum failure (or exhausted transient-I/O retry budget) on
+	// the attempt's own spill files aborts it for a clean re-run; the
+	// panics must not escape into the kernel.
 	var ledger int64
 	defer func() {
 		if r := recover(); r != nil {
-			if _, isAbort := r.(nodeAborted); !isAbort {
+			switch r.(type) {
+			case nodeAborted:
+				kind = "map-lost"
+				j.wastedCPU += ledger
+				res, dur = mapNodeDead, 0
+			case *storage.Corruption:
+				kind = "map-corrupt"
+				j.wastedCPU += ledger
+				res, dur = mapFailedInjected, 0
+			default:
 				panic(r)
 			}
-			kind = "map-lost"
-			j.wastedCPU += ledger
-			res, dur = mapNodeDead, 0
 		}
 	}()
 
@@ -261,10 +300,19 @@ func (j *job) runMapAttempt(p *sim.Proc, chunk int, n *node, attempt int, fail, 
 		}
 	}
 
+	var quarantined int64
 	for i, t := range tasks {
 		forkUpTo(i + window)
 		n.store.ChargeInputRead(p, t.end-t.off)
 		t.fut.Wait()
+
+		quarantined += t.out.quarantined
+		if q := j.spec.SkipBadRecords; q > 0 && quarantined > q {
+			// Budget blown: too many poison records in one task means
+			// the input (or the query) is broken, not unlucky — fail
+			// the job loudly rather than silently dropping data.
+			panic(fmt.Errorf("engine: map task %d quarantined %d records, over the %d budget", chunk, quarantined, q))
+		}
 
 		// Replay the segment's results into the collector in record
 		// order, advancing the watermark exactly where the serial
@@ -286,6 +334,11 @@ func (j *job) runMapAttempt(p *sim.Proc, chunk int, n *node, attempt int, fail, 
 					coll.Add(k, v)
 				}
 			}
+		}
+		if err := it.Err(); err != nil {
+			// pairs never left memory, so this is an engine bug, not
+			// disk damage — fail loudly.
+			panic(fmt.Errorf("engine: corrupt segment replay in map task %d: %w", chunk, err))
 		}
 
 		cpu := model.CPUOps(model.CPUParseByte, t.end-t.off) +
@@ -324,6 +377,7 @@ func (j *job) runMapAttempt(p *sim.Proc, chunk int, n *node, attempt int, fail, 
 	}
 	j.mapInputRecords += mapped
 	j.mapOutputRecords += emitted
+	j.quarantined += quarantined
 	if hop == nil {
 		if tr := j.tracker; tr != nil {
 			// Claim the task before the publish I/O parks, so a racing
@@ -342,6 +396,7 @@ func (j *job) runMapAttempt(p *sim.Proc, chunk int, n *node, attempt int, fail, 
 				ms.output = nil
 				j.mapInputRecords -= mapped
 				j.mapOutputRecords -= emitted
+				j.quarantined -= quarantined
 				kind = "map-lost"
 				j.wastedCPU += ledger
 				return mapNodeDead, 0
@@ -382,7 +437,9 @@ func (j *job) publishMapOutput(p *sim.Proc, n *node, name string, task int, part
 	}
 	o.file = n.store.Create(name, storage.MapOutput)
 	if len(all) > 0 {
-		n.store.Append(p, o.file, all, storage.MapOutput)
+		// One write request, one checksum frame per partition region:
+		// shuffle reads verify exactly the partition they fetch.
+		n.store.AppendFrames(p, o.file, all, storage.MapOutput, o.partBytes)
 	}
 	n.cacheAdd(o)
 	j.shuffle.publish(o)
@@ -444,14 +501,16 @@ func (h *hopCollector) push() {
 	if h.comb != nil {
 		var out []byte
 		var records int64
-		kvenc.MergeGroups([][]byte{sorted}, func(pk []byte, vals kvenc.ValueIter) bool {
+		if err := kvenc.MergeGroupsChecked([][]byte{sorted}, func(pk []byte, vals kvenc.ValueIter) bool {
 			grp := &kvenc.CountingIter{Inner: vals}
 			h.comb.Combine(pk[2:], grp, func(v []byte) {
 				out = kvenc.AppendPair(out, pk, v)
 			})
 			records += grp.N
 			return true
-		})
+		}); err != nil {
+			panic(fmt.Errorf("engine: corrupt hop spill in map task %d: %w", h.chunk, err))
+		}
 		h.rt.ChargeOps(model.CPUCombine, records)
 		sorted = out
 	}
@@ -468,6 +527,9 @@ func (h *hopCollector) push() {
 		part := int(pk[0])<<8 | int(pk[1])
 		segs[part] = kvenc.AppendPair(segs[part], pk[2:], v)
 		emitted++
+	}
+	if err := it.Err(); err != nil {
+		panic(fmt.Errorf("engine: corrupt hop spill in map task %d: %w", h.chunk, err))
 	}
 	for pi, s := range segs {
 		if len(s) > 0 {

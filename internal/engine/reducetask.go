@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/frame"
 	"repro/internal/kvenc"
 	"repro/internal/metrics"
 	"repro/internal/mr"
@@ -158,9 +159,14 @@ func (j *job) runReduceAttempt(p *sim.Proc, rs *reduceState, attempt int, inject
 	model := cfg.Model
 	ridx := rs.ridx
 
-	// Reset the consumed-set from the last checkpoint before anything
-	// parks: the tracker reads it to decide which lost outputs are
-	// still needed, and to re-request any this attempt must re-fetch.
+	// Resolve the checkpoint chain first: a torn or bit-flipped latest
+	// image must not contribute its consumed-set — the attempt restarts
+	// from the newest image that still verifies (or from scratch).
+	img, badCkptBytes := j.resolveCheckpoint(rs)
+
+	// Reset the consumed-set from the last good checkpoint before
+	// anything parks: the tracker reads it to decide which lost outputs
+	// are still needed, and to re-request any this attempt must re-fetch.
 	rs.consumed = make([]bool, j.totalMaps)
 	rs.consumedN = 0
 	if ck := rs.ckpt; ck != nil {
@@ -188,19 +194,32 @@ func (j *job) runReduceAttempt(p *sim.Proc, rs *reduceState, attempt int, inject
 	defer func() { setPhase(-1) }()
 
 	var ledger int64
+	var out *outputWriter
 	defer func() {
 		if r := recover(); r != nil {
-			if _, isAbort := r.(nodeAborted); !isAbort {
+			switch r.(type) {
+			case nodeAborted:
+				kind = "reduce-lost"
+				j.wastedCPU += ledger
+				res = reduceNodeDead
+			case *storage.Corruption:
+				// A spill/bucket/checkpoint-source frame failed its
+				// checksum, or a transient-I/O retry budget ran out: the
+				// attempt's scratch state is untrustworthy. Discard it
+				// and restart from the last good checkpoint.
+				kind = "reduce-corrupt"
+				j.wastedCPU += ledger
+				out.discard()
+				res = reduceFailedInjected
+			default:
 				panic(r)
 			}
-			kind = "reduce-lost"
-			j.wastedCPU += ledger
-			res = reduceNodeDead
 		}
 	}()
 
 	rt := j.newRuntime(p, n, &ledger)
-	out := &outputWriter{j: j, p: p, n: n, flushAt: cfg.Page, provisional: j.spec.Faults.risky()}
+	out = &outputWriter{j: j, p: p, n: n, flushAt: cfg.Page,
+		provisional: j.spec.Faults.risky() || j.spec.Faults.Disk.any()}
 
 	var smr *sortmerge.Reducer
 	var mrh *core.MRHashReducer
@@ -244,17 +263,24 @@ func (j *job) runReduceAttempt(p *sim.Proc, rs *reduceState, attempt int, inject
 		}, out)
 	}
 
-	// Resume from the last checkpoint: read the replicated image back
-	// (table/sketch + consumed-set + all bucket bytes) and rebuild the
-	// reducer, then replay only the unconsumed suffix.
+	// Resume from the last good checkpoint: read the replicated image
+	// back (table/sketch + consumed-set + all bucket bytes) and rebuild
+	// the reducer, then replay only the unconsumed suffix. Damaged
+	// images the resolver discarded were still read before their frame
+	// failed verification — charge those bytes too.
 	incremental := inch != nil || dinch != nil
-	if ck := rs.ckpt; ck != nil && ck.img != nil {
+	if badCkptBytes > 0 || (img != nil && incremental) {
 		setPhase(metrics.PhaseRecover)
-		n.store.ChargeCheckpointRead(p, ck.stateBytes+ck.bucketSum)
-		if inch != nil {
-			inch.Restore(ck.img)
-		} else {
-			dinch.Restore(ck.img)
+		if badCkptBytes > 0 {
+			n.store.ChargeCheckpointRead(p, badCkptBytes)
+		}
+		if ck := rs.ckpt; ck != nil && img != nil {
+			n.store.ChargeCheckpointRead(p, ck.stateBytes+ck.bucketSum)
+			if inch != nil {
+				inch.Restore(img)
+			} else {
+				dinch.Restore(img)
+			}
 		}
 		setPhase(-1)
 	}
@@ -336,7 +362,21 @@ func (j *job) runReduceAttempt(p *sim.Proc, rs *reduceState, attempt int, inject
 				j.memFetches++
 			} else {
 				j.diskFetches++
-				o.node.store.ReadAt(p, o.file, o.partOff[ridx], size, storage.ShuffleRead)
+				if _, err := o.node.store.ReadAtChecked(p, o.file, o.partOff[ridx], size, storage.ShuffleRead); err != nil {
+					// The partition's frame failed its checksum. Re-fetch
+					// once (the real protocol's first response to a bad
+					// payload); the mapper's disk serves the same damaged
+					// frame, so give the output up as corrupt — the
+					// tracker re-executes the map task and the fresh
+					// publication serves this reducer.
+					j.fetchRetries++
+					j.refetchBytes += size
+					p.Use(n.nic, 1, model.NetTime(size))
+					if _, err = o.node.store.ReadAtChecked(p, o.file, o.partOff[ridx], size, storage.ShuffleRead); err != nil {
+						t.corruptOutput(o)
+						continue
+					}
+				}
 			}
 			if rs.everFetched == nil {
 				rs.everFetched = make([]bool, j.totalMaps)
@@ -371,6 +411,12 @@ func (j *job) runReduceAttempt(p *sim.Proc, rs *reduceState, attempt int, inject
 						default:
 							dinch.Consume(k, v)
 						}
+					}
+					if err := it.Err(); err != nil {
+						// The payload passed frame verification, so a
+						// kvenc-level break is an engine bug, not disk
+						// damage — fail loudly.
+						panic(fmt.Errorf("engine: corrupt shuffle segment from map task %d: %w", o.task, err))
 					}
 				}
 				per := model.CPUHashInsert
@@ -445,9 +491,13 @@ func (j *job) runReduceAttempt(p *sim.Proc, rs *reduceState, attempt int, inject
 
 // takeCheckpoint snapshots the incremental reducer's state (key→state
 // table or FREQUENT summary, plus bucket contents) together with the
-// consumed-set, charges the checkpoint write (full state + consumed-set
-// plus only the bucket bytes appended since the previous checkpoint),
-// and commits provisional output emitted so far.
+// consumed-set, serializes it into a CRC32C-framed image, charges the
+// checkpoint write (full state + consumed-set plus only the bucket
+// bytes appended since the previous checkpoint), and commits
+// provisional output emitted so far. The previous image is kept as a
+// fallback; under fault injection the freshly written frame may be
+// bit-flipped here — detected by restore, exactly like bit rot on the
+// replicated copy.
 func (j *job) takeCheckpoint(p *sim.Proc, rs *reduceState, n *node, inch *core.INCHashReducer, dinch *core.DINCHashReducer, out *outputWriter) {
 	var img *core.StateImage
 	if inch != nil {
@@ -455,8 +505,9 @@ func (j *job) takeCheckpoint(p *sim.Proc, rs *reduceState, n *node, inch *core.I
 	} else {
 		img = dinch.Snapshot()
 	}
+	payload := core.MarshalImage(img)
 	ck := &ckptImage{
-		img:        img,
+		framed:     frame.Append(nil, payload),
 		consumed:   append([]bool(nil), rs.consumed...),
 		consumedN:  rs.consumedN,
 		stateBytes: img.StateBytes() + int64(j.totalMaps)*consumedBitBytes,
@@ -478,9 +529,51 @@ func (j *job) takeCheckpoint(p *sim.Proc, rs *reduceState, n *node, inch *core.I
 		}
 	}
 	n.store.ChargeCheckpointWrite(p, write)
+	if n.store.Checksums {
+		n.store.NoteOverhead(storage.Checkpoint, frame.Overhead(len(payload)))
+	}
+	if d := &j.spec.Faults.Disk; d.CorruptRate > 0 && d.targetsNode(n.idx) &&
+		d.classMask()[storage.Checkpoint] && d.windowNS(p.Now()) {
+		j.ckptSeq++
+		if storage.Roll(d.CorruptRate, d.Seed, int64(n.idx), j.ckptSeq, 4) {
+			bit := storage.Hash64(d.Seed, int64(n.idx), j.ckptSeq, 5) % uint64(len(ck.framed)*8)
+			ck.framed[bit/8] ^= 1 << (bit % 8)
+		}
+	}
+	// Keep one fallback level: the latest image plus its predecessor.
+	ck.prev = rs.ckpt
+	if ck.prev != nil {
+		ck.prev.prev = nil
+	}
 	rs.ckpt = ck
 	j.checkpoints++
 	out.commit()
+}
+
+// resolveCheckpoint walks a reduce task's checkpoint chain newest
+// first, discards images whose frame no longer verifies (bit-flipped
+// at write time, or torn when their node died mid-replication), and
+// leaves rs.ckpt at the newest good image — nil means full replay.
+// It returns the decoded state image and the stored bytes of the
+// damaged images that were tried (the restore charges reading them:
+// the damage is only discovered after the bytes come back).
+func (j *job) resolveCheckpoint(rs *reduceState) (img *core.StateImage, badBytes int64) {
+	for rs.ckpt != nil {
+		ck := rs.ckpt
+		if payload, err := frame.Decode(ck.framed); err == nil {
+			if img, err = core.UnmarshalImage(payload); err == nil {
+				return img, badBytes
+			}
+		}
+		badBytes += ck.stateBytes + ck.bucketSum
+		if ck.torn {
+			j.tornRepaired++
+		} else {
+			j.ckptCorrupt++
+		}
+		rs.ckpt = ck.prev
+	}
+	return nil, badBytes
 }
 
 // runReduceLegacy is the clean-run reduce path: acquire a slot
@@ -592,6 +685,9 @@ func (j *job) runReduceLegacy(p *sim.Proc, ridx int, n *node) {
 						default:
 							dinch.Consume(k, v)
 						}
+					}
+					if err := it.Err(); err != nil {
+						panic(fmt.Errorf("engine: corrupt shuffle segment from map task %d: %w", o.task, err))
 					}
 				}
 				per := model.CPUHashInsert

@@ -58,6 +58,18 @@ type Report struct {
 	// suffix, sort-merge re-reads everything.
 	RecoveryReadBytes int64
 
+	// Data-plane integrity accounting (all zero unless Cluster.Checksums
+	// or a DiskFaultPlan is set).
+	CorruptFramesDetected int64 // checksum verifications that failed (incl. checkpoint images)
+	IORetries             int64 // transient I/O errors injected and retried
+	TornWritesRepaired    int64 // torn checkpoint tails detected, recovered via fallback
+	QuarantinedRecords    int64 // bad records skipped under the SkipBadRecords budget
+	// ChecksumOverheadBytes is the logical framing overhead (headers +
+	// CRC trailers) moved on top of payload I/O; ByClass splits it per
+	// I/O class. Payload byte counters above never include it.
+	ChecksumOverheadBytes   int64
+	ChecksumOverheadByClass [storage.NumIOClasses]int64
+
 	OutputRecords    int64
 	MapInputRecords  int64
 	MapOutputRecords int64
@@ -124,6 +136,10 @@ func (j *job) report(s *metrics.Sampler) *Report {
 		CheckpointBytes:      m.LogicalBytes(c.WrittenBytes[storage.Checkpoint]),
 		RecoveryReadBytes:    m.LogicalBytes(c.ReadBytes[storage.Checkpoint] + j.refetchBytes),
 
+		CorruptFramesDetected: j.ckptCorrupt + j.tornRepaired,
+		TornWritesRepaired:    j.tornRepaired,
+		QuarantinedRecords:    j.quarantined,
+
 		OutputRecords:    j.outRecords,
 		MapInputRecords:  j.mapInputRecords,
 		MapOutputRecords: j.mapOutputRecords,
@@ -133,6 +149,14 @@ func (j *job) report(s *metrics.Sampler) *Report {
 		Samples: s.Samples(),
 		Outputs: j.outputs,
 		Spans:   j.spans,
+	}
+	for _, n := range j.nodes {
+		r.IORetries += n.store.IORetries()
+		r.CorruptFramesDetected += n.store.CorruptFramesDetected()
+	}
+	for i := 0; i < int(storage.NumIOClasses); i++ {
+		r.ChecksumOverheadByClass[i] = m.LogicalBytes(c.OverheadBytes[i])
+		r.ChecksumOverheadBytes += r.ChecksumOverheadByClass[i]
 	}
 	r.Progress = metrics.Progress(r.Samples, metrics.Totals{
 		MapTasks:  j.totalMaps,

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"sort"
 
-	"repro/internal/core"
 	"repro/internal/sim"
+	"repro/internal/storage"
 )
 
 // mapTaskState is the tracker's view of one map task across all of its
@@ -24,16 +24,23 @@ type mapTaskState struct {
 	reexecs  int   // re-executions after output loss
 }
 
-// ckptImage is one committed reducer checkpoint: the platform state
-// image, the consumed-set at the instant it was taken, and the byte
-// accounting needed for delta writes and restore reads.
+// ckptImage is one committed reducer checkpoint: the serialized,
+// CRC32C-framed platform state image, the consumed-set at the instant
+// it was taken, and the byte accounting needed for delta writes and
+// restore reads. The image travels as a framed blob — exactly what
+// fault injection damages (bit flips at write time, torn tails at node
+// death) and what restore verifies. prev chains to the previous good
+// image (one level kept) so a damaged latest falls back instead of
+// forcing a full replay.
 type ckptImage struct {
-	img        *core.StateImage
+	framed     []byte // frame.Append(nil, core.MarshalImage(img))
+	torn       bool   // tail truncated by a torn-write injection
 	consumed   []bool
 	consumedN  int
 	stateBytes int64   // table/sketch + consumed-set bytes (rewritten each time)
 	bucketLens []int64 // cumulative per-bucket bytes (delta vs. previous image)
 	bucketSum  int64   // Σ bucketLens (all read back on restore)
+	prev       *ckptImage
 }
 
 // reduceState is the tracker's view of one reduce task.
@@ -112,6 +119,9 @@ func (t *tracker) run(p *sim.Proc) {
 func (t *tracker) declare(n *node) {
 	n.declaredDead = true
 	t.j.nodesLost++
+	if t.j.spec.Faults.Disk.TornWrites {
+		t.tearCheckpoints(n)
+	}
 	lost := t.j.shuffle.markLost(n.idx)
 	for _, o := range lost {
 		if o.task < 0 {
@@ -127,6 +137,51 @@ func (t *tracker) declare(n *node) {
 		t.reexec(ms)
 	}
 	t.cond.Broadcast()
+}
+
+// tearCheckpoints truncates the latest checkpoint image of every
+// reducer that was running on the crashed node: the replication
+// pipeline was cut mid-flight, so the newest image's tail never made
+// it out. The cut length is drawn deterministically from the fault
+// seed; any truncation fails the frame's exact-span CRC check, so
+// restore detects it and falls back to the previous good image.
+func (t *tracker) tearCheckpoints(n *node) {
+	d := &t.j.spec.Faults.Disk
+	for _, rs := range t.rstates {
+		
+		if rs.done || rs.node != n || rs.ckpt == nil || rs.ckpt.torn {
+			continue
+		}
+		ck := rs.ckpt
+		if len(ck.framed) < 2 {
+			continue
+		}
+		cut := 1 + int64(storage.Hash64(d.Seed, int64(n.idx), int64(rs.ridx), 6)%uint64(len(ck.framed)-1))
+		ck.framed = ck.framed[:cut]
+		ck.torn = true
+	}
+}
+
+// corruptOutput invalidates a map output whose shuffle payload failed
+// checksum verification even after a re-fetch: the stored frame is
+// damaged on the mapper's disk, so the output is marked lost and the
+// task re-executed on a live node — a fresh publication serves every
+// reducer that still needs it (deterministic replay makes it
+// byte-identical to the damaged original's clean bytes).
+func (t *tracker) corruptOutput(o *mapOutput) {
+	if o.lost {
+		return // another reducer already reported it
+	}
+	o.lost = true
+	t.j.shuffle.cond.Broadcast()
+	if o.task < 0 {
+		return
+	}
+	ms := t.mstates[o.task]
+	if !ms.done || ms.output != o {
+		return // superseded already, or still being recomputed
+	}
+	t.reexec(ms)
 }
 
 // needed reports whether any reducer still has to fetch the given map

@@ -15,7 +15,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"table1", "fig2", "fig2d", "fig2ef", "fig4ab", "fig4c",
 		"fig4de", "fig4f", "sec32r", "table3", "fig7d", "table4", "fig7f",
-		"hopsnap", "coverage", "windows", "recovery",
+		"hopsnap", "coverage", "windows", "recovery", "integrity",
 	}
 	for _, id := range want {
 		if _, ok := Get(id); !ok {
@@ -145,6 +145,30 @@ func TestRecoveryCheckpointsBeatRescan(t *testing.T) {
 	}
 	if !found {
 		t.Fatalf("missing recovery finding: %v", res.Findings)
+	}
+}
+
+func TestIntegrityShapes(t *testing.T) {
+	res, err := Get2(t, "integrity").Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("integrity rows: %d", len(res.Rows))
+	}
+	// runIntegrity itself errors unless answers are bit-identical and
+	// overhead stays under 5%; the findings must state both.
+	var identical, overhead bool
+	for _, f := range res.Findings {
+		if strings.Contains(f, "bit-identical") {
+			identical = true
+		}
+		if strings.Contains(f, "%") {
+			overhead = true
+		}
+	}
+	if !identical || !overhead {
+		t.Fatalf("missing integrity findings: %v", res.Findings)
 	}
 }
 

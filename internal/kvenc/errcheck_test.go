@@ -1,0 +1,103 @@
+package kvenc
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestNoUncheckedIterators is a vet-style check over the whole module:
+// every function that constructs a kvenc.Iterator must also consult
+// .Err() somewhere in its body. Next returning false is ambiguous —
+// end of stream or corrupt framing — so a site that never looks at Err
+// would silently truncate on damaged bytes instead of failing. The
+// kvenc package itself is exempt (it implements the iterator and its
+// tolerant wrappers).
+func TestNoUncheckedIterators(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var violations []string
+	fset := token.NewFileSet()
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || strings.HasPrefix(name, ".") ||
+				filepath.Join(root, "internal", "kvenc") == path {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		file, perr := parser.ParseFile(fset, path, nil, 0)
+		if perr != nil {
+			return fmt.Errorf("parse %s: %w", path, perr)
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if ok && fn.Body != nil && callsNewIterator(fn.Body) && !referencesErr(fn.Body) {
+				rel, _ := filepath.Rel(root, path)
+				violations = append(violations,
+					fmt.Sprintf("%s: func %s calls kvenc.NewIterator but never checks .Err()", rel, fn.Name.Name))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, statErr := os.Stat(filepath.Join(root, "go.mod")); statErr != nil {
+		t.Fatalf("walk root %s is not the module root", root)
+	}
+	for _, v := range violations {
+		t.Error(v)
+	}
+}
+
+// callsNewIterator reports whether the body contains a call to
+// kvenc.NewIterator (or a dot-imported NewIterator).
+func callsNewIterator(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch f := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			if f.Sel.Name == "NewIterator" {
+				found = true
+			}
+		case *ast.Ident:
+			if f.Name == "NewIterator" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// referencesErr reports whether the body mentions a .Err selector.
+func referencesErr(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == "Err" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -215,8 +215,14 @@ func (h *mergeHeap) Push(x interface{}) { panic("unused") }
 func (h *mergeHeap) Pop() interface{}   { panic("unused") }
 
 // Merger produces the merged (key-ordered) sequence of several runs.
+// A corrupt run stops contributing at its first invalid pair; the
+// merge continues over the remaining runs and Err reports the damage,
+// so callers fail loudly instead of silently losing a run's tail
+// (kvenc itself never panics on corrupt bytes — worker goroutines
+// must not bring down the kernel).
 type Merger struct {
-	h mergeHeap
+	h   mergeHeap
+	err error
 }
 
 // NewMerger creates a k-way merger over the given runs.
@@ -229,11 +235,17 @@ func NewMerger(runs [][]byte) *Merger {
 			m.h.keys = append(m.h.keys, k)
 			m.h.vals = append(m.h.vals, v)
 			m.h.idx = append(m.h.idx, i)
+		} else if it.Err() != nil && m.err == nil {
+			m.err = it.Err()
 		}
 	}
 	heap.Init(&m.h)
 	return m
 }
+
+// Err returns ErrCorrupt if any input run stopped on invalid framing
+// rather than a clean end of run. Check it after the merge drains.
+func (m *Merger) Err() error { return m.err }
 
 // Next returns the next pair in merged key order.
 func (m *Merger) Next() (key, val []byte, ok bool) {
@@ -245,6 +257,9 @@ func (m *Merger) Next() (key, val []byte, ok bool) {
 		m.h.keys[0], m.h.vals[0] = k, v
 		heap.Fix(&m.h, 0)
 	} else {
+		if err := m.h.its[0].Err(); err != nil && m.err == nil {
+			m.err = err
+		}
 		n := m.h.Len() - 1
 		m.h.Swap(0, n)
 		m.h.its = m.h.its[:n]
@@ -258,8 +273,18 @@ func (m *Merger) Next() (key, val []byte, ok bool) {
 	return key, val, true
 }
 
-// MergeStream fully merges runs into a single encoded run.
+// MergeStream fully merges runs into a single encoded run, silently
+// tolerating corrupt tails — for consumers with no error channel
+// (fuzzing, diagnostics). Production paths use MergeStreamChecked.
 func MergeStream(runs [][]byte) []byte {
+	out, _ := MergeStreamChecked(runs)
+	return out
+}
+
+// MergeStreamChecked fully merges runs into a single encoded run and
+// reports ErrCorrupt if any run was truncated by invalid framing (the
+// merged prefix is still returned).
+func MergeStreamChecked(runs [][]byte) ([]byte, error) {
 	var total int
 	for _, r := range runs {
 		total += len(r)
@@ -269,7 +294,7 @@ func MergeStream(runs [][]byte) []byte {
 	for {
 		k, v, ok := m.Next()
 		if !ok {
-			return out
+			return out, m.Err()
 		}
 		out = AppendPair(out, k, v)
 	}
@@ -317,8 +342,16 @@ func (g *groupIter) Next() ([]byte, bool) {
 // MergeGroups merges runs and calls fn once per distinct key with a
 // streaming iterator over that key's values (in stable run order).
 // This is the final merge + group-by that feeds the reduce function.
-// If fn returns false, iteration stops.
+// If fn returns false, iteration stops. Corrupt tails are silently
+// dropped; production paths use MergeGroupsChecked.
 func MergeGroups(runs [][]byte, fn func(key []byte, vals ValueIter) bool) {
+	_ = MergeGroupsChecked(runs, fn)
+}
+
+// MergeGroupsChecked is MergeGroups reporting ErrCorrupt if any run
+// was truncated by invalid framing (groups decoded before the damage
+// are still delivered).
+func MergeGroupsChecked(runs [][]byte, fn func(key []byte, vals ValueIter) bool) error {
 	m := NewMerger(runs)
 	k, v, ok := m.Next()
 	for ok {
@@ -331,10 +364,11 @@ func MergeGroups(runs [][]byte, fn func(key []byte, vals ValueIter) bool) {
 			}
 		}
 		if !cont || g.eos {
-			return
+			break
 		}
 		k, v, ok = g.nextKey, g.nextVal, !g.eos && g.nextKey != nil
 	}
+	return m.Err()
 }
 
 // SliceValues materializes an iterator (test helper and small-group

@@ -110,7 +110,13 @@ func (t *Tree) MergeOnce(p *sim.Proc, cpu CPUCharger) bool {
 		// Copy: the file is deleted below and its backing array freed.
 		runs = append(runs, append([]byte(nil), data...))
 	}
-	merged := kvenc.MergeStream(runs)
+	merged, err := kvenc.MergeStreamChecked(runs)
+	if err != nil {
+		// The frame layer (when on) catches disk corruption before the
+		// bytes reach here; a corrupt run past that point is a bug, not
+		// a recoverable fault — fail loudly, never truncate silently.
+		panic(fmt.Errorf("merge: %s file in %s.* is corrupt: %w", t.class, t.prefix, err))
+	}
 	records = int64(kvenc.Count(merged))
 	if cpu != nil {
 		cpu.ChargeMerge(p, records)

@@ -40,6 +40,9 @@ func values(vs ...string) kvenc.ValueIter {
 		enc = kvenc.AppendPair(enc, []byte("k"), []byte(v))
 	}
 	it := kvenc.NewIterator(enc)
+	if err := it.Err(); err != nil {
+		panic(err)
+	}
 	return valueOnly{it}
 }
 
@@ -47,6 +50,11 @@ type valueOnly struct{ it *kvenc.Iterator }
 
 func (v valueOnly) Next() ([]byte, bool) {
 	_, val, ok := v.it.Next()
+	if !ok {
+		if err := v.it.Err(); err != nil {
+			panic(err)
+		}
+	}
 	return val, ok
 }
 

@@ -20,6 +20,7 @@ package sortmerge
 
 import (
 	"encoding/binary"
+	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/kvenc"
@@ -116,7 +117,7 @@ func (c *MapCollector) sortBuffer() []byte {
 func (c *MapCollector) combineRun(run []byte) []byte {
 	var out []byte
 	var records int64
-	kvenc.MergeGroups([][]byte{run}, func(pk []byte, vals kvenc.ValueIter) bool {
+	if err := kvenc.MergeGroupsChecked([][]byte{run}, func(pk []byte, vals kvenc.ValueIter) bool {
 		_, key := splitPrefixed(pk)
 		grp := &kvenc.CountingIter{Inner: vals}
 		c.comb.Combine(key, grp, func(v []byte) {
@@ -124,7 +125,9 @@ func (c *MapCollector) combineRun(run []byte) []byte {
 		})
 		records += grp.N
 		return true
-	})
+	}); err != nil {
+		panic(fmt.Errorf("sortmerge: corrupt run in %s combine: %w", c.cfg.Prefix, err))
+	}
 	c.rt.ChargeOps(c.rt.Model.CPUCombine, records)
 	return out
 }
@@ -154,7 +157,11 @@ func (c *MapCollector) Finish() (parts [][][]byte, mapped, emitted int64) {
 		}
 		c.tree.Complete(c.rt.P, charger{c.rt})
 		runs := c.tree.FinalRuns(c.rt.P)
-		final = kvenc.MergeStream(runs)
+		var err error
+		final, err = kvenc.MergeStreamChecked(runs)
+		if err != nil {
+			panic(fmt.Errorf("sortmerge: corrupt spill run in %s: %w", c.cfg.Prefix, err))
+		}
 		c.rt.ChargeOps(c.rt.Model.CPUMergeRecord, int64(kvenc.Count(final)))
 	}
 	parts = make([][][]byte, c.cfg.Partitions)
@@ -168,6 +175,9 @@ func (c *MapCollector) Finish() (parts [][][]byte, mapped, emitted int64) {
 		part, key := splitPrefixed(pk)
 		segs[part] = kvenc.AppendPair(segs[part], key, v)
 		c.emitted++
+	}
+	if err := it.Err(); err != nil {
+		panic(fmt.Errorf("sortmerge: corrupt final run in %s: %w", c.cfg.Prefix, err))
 	}
 	for p, s := range segs {
 		if len(s) > 0 {
@@ -256,18 +266,24 @@ func (r *Reducer) spillBuffer() {
 	if r.comb != nil {
 		// Merge + combine in one pass; combined records count as
 		// progress (Definition 1's "combine function completed").
-		kvenc.MergeGroups(r.bufRuns, func(key []byte, vals kvenc.ValueIter) bool {
+		if err := kvenc.MergeGroupsChecked(r.bufRuns, func(key []byte, vals kvenc.ValueIter) bool {
 			grp := &kvenc.CountingIter{Inner: vals}
 			r.comb.Combine(key, grp, func(v []byte) {
 				run = kvenc.AppendPair(run, key, v)
 			})
 			records += grp.N
 			return true
-		})
+		}); err != nil {
+			panic(fmt.Errorf("sortmerge: corrupt shuffled run in %s: %w", r.cfg.Prefix, err))
+		}
 		r.rt.FnRecords(records)
 		r.rt.ChargeOps(r.rt.Model.CPUCombine, records)
 	} else {
-		run = kvenc.MergeStream(r.bufRuns)
+		var err error
+		run, err = kvenc.MergeStreamChecked(r.bufRuns)
+		if err != nil {
+			panic(fmt.Errorf("sortmerge: corrupt shuffled run in %s: %w", r.cfg.Prefix, err))
+		}
 		records = int64(kvenc.Count(run))
 	}
 	r.rt.ChargeOps(r.rt.Model.CPUMergeRecord, records)
@@ -310,13 +326,15 @@ func (r *Reducer) Finish(out mr.OutputWriter) {
 	r.finalRuns = nil
 	var records int64
 	batch := r.rt.Batch(r.rt.Model.CPUMergeRecord + r.rt.Model.CPUReduceRec)
-	kvenc.MergeGroups(runs, func(key []byte, vals kvenc.ValueIter) bool {
+	if err := kvenc.MergeGroupsChecked(runs, func(key []byte, vals kvenc.ValueIter) bool {
 		grp := &kvenc.CountingIter{Inner: vals}
 		r.q.Reduce(key, grp, out)
 		records += grp.N
 		batch.Add(grp.N)
 		return true
-	})
+	}); err != nil {
+		panic(fmt.Errorf("sortmerge: corrupt final run in %s: %w", r.cfg.Prefix, err))
+	}
 	batch.Flush()
 	r.rt.FnRecords(records)
 }
@@ -332,12 +350,14 @@ func (r *Reducer) Snapshot(out mr.OutputWriter) {
 	runs = append(runs, r.bufRuns...)
 	var records int64
 	batch := r.rt.Batch(r.rt.Model.CPUMergeRecord + r.rt.Model.CPUReduceRec)
-	kvenc.MergeGroups(runs, func(key []byte, vals kvenc.ValueIter) bool {
+	if err := kvenc.MergeGroupsChecked(runs, func(key []byte, vals kvenc.ValueIter) bool {
 		grp := &kvenc.CountingIter{Inner: vals}
 		r.q.Reduce(key, grp, out)
 		records += grp.N
 		batch.Add(grp.N)
 		return true
-	})
+	}); err != nil {
+		panic(fmt.Errorf("sortmerge: corrupt run in %s snapshot: %w", r.cfg.Prefix, err))
+	}
 	batch.Flush()
 }

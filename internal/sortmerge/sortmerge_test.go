@@ -94,6 +94,9 @@ func TestMapCollectorSingleSpill(t *testing.T) {
 					}
 					seen[string(k)] = pi
 				}
+				if err := it.Err(); err != nil {
+					t.Fatalf("corrupt segment: %v", err)
+				}
 			}
 		}
 		if len(seen) != 700 {
@@ -155,6 +158,9 @@ func TestMapCollectorCombine(t *testing.T) {
 					}
 					n, _ := strconv.ParseInt(string(v), 10, 64)
 					total += n
+				}
+				if err := it.Err(); err != nil {
+					t.Fatalf("corrupt segment: %v", err)
 				}
 			}
 		}
@@ -296,6 +302,9 @@ func TestMapCollectorPartitionStability(t *testing.T) {
 							break
 						}
 						m[string(k)] = pi
+					}
+					if err := it.Err(); err != nil {
+						t.Fatalf("corrupt segment: %v", err)
 					}
 				}
 			}

@@ -17,9 +17,12 @@ package storage
 
 import (
 	"fmt"
+	"math"
+	"sort"
 	"time"
 
 	"repro/internal/cost"
+	"repro/internal/frame"
 	"repro/internal/sim"
 )
 
@@ -60,11 +63,16 @@ func (c IOClass) String() string {
 }
 
 // Counters accumulates physical bytes and request counts per class.
+// ReadBytes/WrittenBytes are payload bytes only; OverheadBytes holds
+// the checksum-framing bytes moved on top of them (zero when
+// checksums are off), so every pre-existing payload comparison is
+// unchanged by enabling integrity.
 type Counters struct {
-	ReadBytes    [NumIOClasses]int64
-	WrittenBytes [NumIOClasses]int64
-	ReadReqs     [NumIOClasses]int64
-	WriteReqs    [NumIOClasses]int64
+	ReadBytes     [NumIOClasses]int64
+	WrittenBytes  [NumIOClasses]int64
+	ReadReqs      [NumIOClasses]int64
+	WriteReqs     [NumIOClasses]int64
+	OverheadBytes [NumIOClasses]int64
 }
 
 // Add accumulates o into c.
@@ -74,7 +82,18 @@ func (c *Counters) Add(o *Counters) {
 		c.WrittenBytes[i] += o.WrittenBytes[i]
 		c.ReadReqs[i] += o.ReadReqs[i]
 		c.WriteReqs[i] += o.WriteReqs[i]
+		c.OverheadBytes[i] += o.OverheadBytes[i]
 	}
+}
+
+// TotalOverheadBytes returns the checksum-framing bytes across all
+// classes.
+func (c *Counters) TotalOverheadBytes() int64 {
+	var t int64
+	for i := 0; i < int(NumIOClasses); i++ {
+		t += c.OverheadBytes[i]
+	}
+	return t
 }
 
 // TotalBytes returns all bytes read plus written (the model's U, plus
@@ -97,11 +116,22 @@ func (c *Counters) TotalReqs() int64 {
 	return t
 }
 
+// frameSpan is the checksum metadata of one logical frame of a file:
+// the payload's byte range and the CRC32C its frame carries. The file
+// holds payload bytes unframed (offsets inside intermediate files are
+// load-bearing); the header/trailer bytes exist only as a charged
+// overhead, the way a block store keeps checksums in a side file.
+type frameSpan struct {
+	off, end int64
+	crc      uint32
+}
+
 // File is a named byte file on one device of one node.
 type File struct {
-	name string
-	dev  cost.Device
-	data []byte
+	name   string
+	dev    cost.Device
+	data   []byte
+	frames []frameSpan // populated per write when checksums are on
 }
 
 // Name returns the file name.
@@ -114,6 +144,87 @@ func (f *File) Size() int64 { return int64(len(f.data)) }
 // assertions and for memory-resident access paths that are explicitly
 // free (e.g. shuffle served from the mapper's memory).
 func (f *File) Data() []byte { return f.data }
+
+// Corruption is panicked by verified reads whose checksum fails and
+// by exhausted transient-I/O retry budgets. Like the engine's
+// node-abort panic, attempt runners recover it at attempt boundaries
+// and restart; it must never escape into the kernel on recoverable
+// paths.
+type Corruption struct {
+	Node  int
+	File  string
+	Class IOClass
+	Kind  string // "checksum" or "io"
+}
+
+// Error implements error.
+func (c *Corruption) Error() string {
+	return fmt.Sprintf("storage: %s fault on node %d, file %q (%s)", c.Kind, c.Node, c.File, c.Class)
+}
+
+// DiskFaults configures deterministic disk-fault injection on one
+// store. All decisions are drawn from Hash64 over (Seed, node,
+// per-store sequence); the sequence only advances inside proc-context
+// I/O calls, which the kernel serializes, so injected faults land at
+// identical points for any worker-pool size.
+type DiskFaults struct {
+	Seed int64
+	// IOErrorRate is the per-request probability of a transient I/O
+	// error: the request costs a seek, backs off, and is retried
+	// (bounded), invisibly to the caller except in virtual time.
+	IOErrorRate float64
+	// CorruptRate is the per-frame probability that a write is
+	// persisted with one flipped bit — detected by checksum
+	// verification on the next read of that frame.
+	CorruptRate float64
+	// Classes masks which I/O classes are targeted.
+	Classes [NumIOClasses]bool
+	// From/To bound the injection window in virtual nanoseconds;
+	// To == 0 means no upper bound.
+	From, To int64
+}
+
+func (d *DiskFaults) window(now int64) bool {
+	return now >= d.From && (d.To == 0 || now < d.To)
+}
+
+// Transient-I/O retry policy: exponential backoff from base to cap;
+// exhausting the budget escalates to a Corruption("io") panic. At
+// validated rates (< 0.5) exhaustion is a ~1e-4-or-rarer event per
+// request, and recoverable wherever checksum corruption is.
+const (
+	ioRetryBase = 20 * time.Millisecond
+	ioRetryCap  = 2 * time.Second
+	maxIOTries  = 12
+)
+
+// Hash64 deterministically mixes identifiers into a uniform 64-bit
+// value (iterated splitmix64): the basis of every fault-injection
+// decision here and in the engine, so faulted runs are exactly
+// reproducible.
+func Hash64(vals ...int64) uint64 {
+	x := uint64(0x9E3779B97F4A7C15)
+	for _, v := range vals {
+		x += uint64(v) ^ 0xBF58476D1CE4E5B9
+		x ^= x >> 30
+		x *= 0xBF58476D1CE4E5B9
+		x ^= x >> 27
+		x *= 0x94D049BB133111EB
+		x ^= x >> 31
+	}
+	return x
+}
+
+// hit converts a hash draw into a probability-rate decision.
+func hit(h uint64, rate float64) bool {
+	return rate > 0 && h < uint64(rate*float64(math.MaxUint64))
+}
+
+// Roll draws one deterministic fault decision — true with probability
+// rate — from Hash64 over the identifying values. The engine uses it
+// for injections the store never sees (checkpoint images travel
+// engine-side).
+func Roll(rate float64, vals ...int64) bool { return hit(Hash64(vals...), rate) }
 
 // Store is one node's storage: two devices sharing nothing, each a
 // capacity-1 sim resource (one outstanding request at a time, FIFO).
@@ -133,6 +244,18 @@ type Store struct {
 	// devices by that multiple — the disk half of a straggler node
 	// (FaultPlan.SlowNodes). 0 or 1 means nominal speed.
 	SlowFactor float64
+
+	// Checksums enables the end-to-end frame layer: every write
+	// records CRC32C frame metadata and every read re-verifies the
+	// frames it touches, with the framing bytes charged as overhead.
+	// Off (the default), no metadata is kept and no byte is charged —
+	// the store behaves identically to the pre-integrity code.
+	Checksums bool
+
+	faults        *DiskFaults
+	faultSeq      int64
+	ioRetries     int64
+	corruptFrames int64
 }
 
 // NewStore creates a node-local store.
@@ -151,6 +274,23 @@ func NewStore(k *sim.Kernel, node int, model cost.Model) *Store {
 
 // Counters returns a pointer to the store's counters (live view).
 func (s *Store) Counters() *Counters { return &s.counters }
+
+// SetFaults installs a disk-fault plan on this store (nil disables).
+func (s *Store) SetFaults(f *DiskFaults) { s.faults = f }
+
+// IORetries returns how many transient I/O errors were injected and
+// retried on this store.
+func (s *Store) IORetries() int64 { return s.ioRetries }
+
+// CorruptFramesDetected returns how many frame verifications failed
+// on this store (re-reads of a corrupt frame count again).
+func (s *Store) CorruptFramesDetected() int64 { return s.corruptFrames }
+
+// NoteOverhead records framing overhead accounted by a caller that
+// moves framed bytes the store never holds (checkpoint images).
+func (s *Store) NoteOverhead(class IOClass, n int64) {
+	s.counters.OverheadBytes[class] += n
+}
 
 // Arm returns the sim resource for the device (for metrics sampling).
 func (s *Store) Arm(dev cost.Device) *sim.Resource { return s.arms[dev] }
@@ -184,27 +324,129 @@ func (s *Store) Delete(f *File) {
 	s.liveBytes -= int64(len(f.data))
 	delete(s.files, f.name)
 	f.data = nil
+	f.frames = nil
 }
 
-// Append writes data to the end of f as a single request, charging
-// seek + transfer on the device arm.
+// Append writes data to the end of f as a single request (one frame),
+// charging seek + transfer on the device arm.
 func (s *Store) Append(p *sim.Proc, f *File, data []byte, class IOClass) {
-	s.charge(p, f.dev, int64(len(data)))
+	s.AppendFrames(p, f, data, class, nil)
+}
+
+// AppendFrames writes data to the end of f as a single request but,
+// when checksums are on, records one frame per given segment length
+// (writev-style): partition regions of a map-output file stay
+// individually verifiable without extra write requests. lens must sum
+// to len(data); nil means one frame covering all of data. Zero-length
+// segments record no frame.
+func (s *Store) AppendFrames(p *sim.Proc, f *File, data []byte, class IOClass, lens []int64) {
+	var ovh int64
+	if s.Checksums {
+		if lens == nil {
+			lens = []int64{int64(len(data))}
+		}
+		off := int64(len(f.data))
+		pos := int64(0)
+		for _, ln := range lens {
+			if ln <= 0 {
+				continue
+			}
+			seg := data[pos : pos+ln]
+			f.frames = append(f.frames, frameSpan{off: off + pos, end: off + pos + ln, crc: frame.Checksum(seg)})
+			ovh += frame.Overhead(len(seg))
+			pos += ln
+		}
+		if pos != int64(len(data)) {
+			panic(fmt.Sprintf("storage: frame lengths cover %d of %d bytes in %s", pos, len(data), f.name))
+		}
+		s.counters.OverheadBytes[class] += ovh
+	}
+	s.request(p, f, f.dev, int64(len(data))+ovh, class)
+	prev := int64(len(f.data))
 	f.data = append(f.data, data...)
 	s.liveBytes += int64(len(data))
 	s.counters.WrittenBytes[class] += int64(len(data))
 	s.counters.WriteReqs[class]++
+	// Bit-flip corruption: the frame CRCs above were computed over the
+	// clean bytes, so the flip (into f.data's own backing, never the
+	// caller's slice) is caught by the next read that verifies the
+	// damaged frame.
+	if fl := s.faults; fl != nil && s.Checksums && len(data) > 0 &&
+		fl.Classes[class] && fl.window(p.Now()) {
+		s.faultSeq++
+		if hit(Hash64(fl.Seed, int64(s.node), s.faultSeq, 1), fl.CorruptRate) {
+			bit := Hash64(fl.Seed, int64(s.node), s.faultSeq, 2) % uint64(len(data)*8)
+			f.data[prev+int64(bit/8)] ^= 1 << (bit % 8)
+		}
+	}
 }
 
-// ReadAt reads n bytes at off from f as a single request.
+// verifySpans re-verifies every frame overlapping [off, end) and
+// returns the framing bytes those frames carry. Edge frames are
+// verified whole (their payload is memory-resident); only the
+// header/trailer bytes are charged, the interior re-read being
+// absorbed by the read buffer.
+func (s *Store) verifySpans(f *File, off, end int64) (ovh int64, err error) {
+	i := sort.Search(len(f.frames), func(i int) bool { return f.frames[i].end > off })
+	for ; i < len(f.frames) && f.frames[i].off < end; i++ {
+		sp := f.frames[i]
+		ovh += frame.Overhead(int(sp.end - sp.off))
+		if frame.Checksum(f.data[sp.off:sp.end]) != sp.crc {
+			s.corruptFrames++
+			err = frame.ErrCorrupt
+		}
+	}
+	return ovh, err
+}
+
+// ReadAt reads n bytes at off from f as a single request, verifying
+// the frames it touches when checksums are on. Checksum failure
+// panics Corruption: internal read paths (spills, buckets, merges)
+// recover it at attempt boundaries and restart.
 func (s *Store) ReadAt(p *sim.Proc, f *File, off, n int64, class IOClass) []byte {
+	b, err := s.ReadAtChecked(p, f, off, n, class)
+	if err != nil {
+		panic(&Corruption{Node: s.node, File: f.name, Class: class, Kind: "checksum"})
+	}
+	return b
+}
+
+// ReadAtChecked is ReadAt returning frame.ErrCorrupt instead of
+// panicking — for callers with a gentler recovery than an attempt
+// restart (the shuffle re-fetches, then re-executes the map task).
+// The full request is charged either way: the bytes moved before the
+// mismatch was noticed.
+func (s *Store) ReadAtChecked(p *sim.Proc, f *File, off, n int64, class IOClass) ([]byte, error) {
 	if off+n > int64(len(f.data)) {
 		panic(fmt.Sprintf("storage: read past EOF of %s (%d+%d > %d)", f.name, off, n, len(f.data)))
 	}
-	s.charge(p, f.dev, n)
+	var ovh int64
+	var verr error
+	if s.Checksums {
+		ovh, verr = s.verifySpans(f, off, off+n)
+		s.counters.OverheadBytes[class] += ovh
+	}
+	s.request(p, f, f.dev, n+ovh, class)
 	s.counters.ReadBytes[class] += n
 	s.counters.ReadReqs[class]++
-	return f.data[off : off+n : off+n]
+	if verr != nil {
+		return nil, verr
+	}
+	return f.data[off : off+n : off+n], nil
+}
+
+// VerifyFile re-verifies every frame of f without charging I/O, and
+// panics Corruption on a mismatch. Checkpointing calls it before
+// folding a file's memory-resident bytes into a state image, so disk
+// corruption cannot be laundered into a freshly-checksummed
+// checkpoint.
+func (s *Store) VerifyFile(f *File, class IOClass) {
+	if !s.Checksums {
+		return
+	}
+	if _, err := s.verifySpans(f, 0, int64(len(f.data))); err != nil {
+		panic(&Corruption{Node: s.node, File: f.name, Class: class, Kind: "checksum"})
+	}
 }
 
 // ReadAll reads the whole file in requests of at most segment physical
@@ -233,7 +475,7 @@ func (s *Store) ReadAll(p *sim.Proc, f *File, segment int64, class IOClass) []by
 // charges the HDD arm and the MapInput counters without touching any
 // file.
 func (s *Store) ChargeInputRead(p *sim.Proc, physBytes int64) {
-	s.charge(p, cost.HDD, physBytes)
+	s.request(p, nil, cost.HDD, physBytes, MapInput)
 	s.counters.ReadBytes[MapInput] += physBytes
 	s.counters.ReadReqs[MapInput]++
 }
@@ -241,7 +483,7 @@ func (s *Store) ChargeInputRead(p *sim.Proc, physBytes int64) {
 // ChargeOutputWrite accounts for job output written back to the DFS
 // without retaining the bytes.
 func (s *Store) ChargeOutputWrite(p *sim.Proc, physBytes int64) {
-	s.charge(p, cost.HDD, physBytes)
+	s.request(p, nil, cost.HDD, physBytes, ReduceOutput)
 	s.counters.WrittenBytes[ReduceOutput] += physBytes
 	s.counters.WriteReqs[ReduceOutput]++
 }
@@ -255,7 +497,7 @@ func (s *Store) ChargeCheckpointWrite(p *sim.Proc, physBytes int64) {
 	if physBytes <= 0 {
 		return
 	}
-	s.charge(p, cost.HDD, physBytes)
+	s.request(p, nil, cost.HDD, physBytes, Checkpoint)
 	s.counters.WrittenBytes[Checkpoint] += physBytes
 	s.counters.WriteReqs[Checkpoint]++
 }
@@ -266,14 +508,45 @@ func (s *Store) ChargeCheckpointRead(p *sim.Proc, physBytes int64) {
 	if physBytes <= 0 {
 		return
 	}
-	s.charge(p, cost.HDD, physBytes)
+	s.request(p, nil, cost.HDD, physBytes, Checkpoint)
 	s.counters.ReadBytes[Checkpoint] += physBytes
 	s.counters.ReadReqs[Checkpoint]++
 }
 
-// charge occupies the device arm for seek + transfer time.
-func (s *Store) charge(p *sim.Proc, dev cost.Device, physBytes int64) {
-	d := s.model.SeekTime(dev) + s.model.TransferTime(dev, physBytes)
+// request occupies the device arm for one I/O request of physBytes,
+// first rolling for injected transient I/O errors: a failed attempt
+// costs a seek, backs off with exponential delay, and retries;
+// exhausting the budget escalates to Corruption("io"), recovered at
+// attempt boundaries like a checksum failure. f may be nil
+// (charge-only requests with no retained file).
+func (s *Store) request(p *sim.Proc, f *File, dev cost.Device, physBytes int64, class IOClass) {
+	if fl := s.faults; fl != nil && fl.IOErrorRate > 0 && fl.Classes[class] {
+		backoff := ioRetryBase
+		for try := 1; fl.window(p.Now()); try++ {
+			s.faultSeq++
+			if !hit(Hash64(fl.Seed, int64(s.node), s.faultSeq, 0), fl.IOErrorRate) {
+				break
+			}
+			s.ioRetries++
+			s.armUse(p, dev, s.model.SeekTime(dev)) // the failed attempt still seeks
+			if try >= maxIOTries {
+				name := ""
+				if f != nil {
+					name = f.name
+				}
+				panic(&Corruption{Node: s.node, File: name, Class: class, Kind: "io"})
+			}
+			p.Hold(backoff)
+			if backoff *= 2; backoff > ioRetryCap {
+				backoff = ioRetryCap
+			}
+		}
+	}
+	s.armUse(p, dev, s.model.SeekTime(dev)+s.model.TransferTime(dev, physBytes))
+}
+
+// armUse occupies the device arm for d (stretched on slow nodes).
+func (s *Store) armUse(p *sim.Proc, dev cost.Device, d time.Duration) {
 	if s.SlowFactor > 1 {
 		d = time.Duration(float64(d) * s.SlowFactor)
 	}

@@ -88,6 +88,11 @@ type (
 	// into a run (Job.Faults); answers are unchanged, recovery costs
 	// are reported.
 	FaultPlan = engine.FaultPlan
+	// DiskFaultPlan injects data-plane faults (FaultPlan.Disk):
+	// transient I/O errors, write-time bit flips, and torn checkpoint
+	// tails. Corruption injection requires Cluster.Checksums; all
+	// detections and repairs are reported.
+	DiskFaultPlan = engine.DiskFaultPlan
 	// Report is the result of a run.
 	Report = engine.Report
 	// ProgressPoint is one point of the Definition 1 progress curve.
