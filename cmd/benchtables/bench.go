@@ -1,0 +1,206 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/bytestore"
+	"repro/internal/frame"
+	"repro/internal/hashfam"
+	"repro/internal/kvenc"
+)
+
+// The -bench-json mode measures the data-plane kernels and one
+// end-to-end job, then writes the results as machine-readable JSON.
+// When the target file already exists, each entry records the previous
+// run's ns/op and the relative delta, so committing the file turns it
+// into a benchmark-regression baseline: CI re-runs the suite and a
+// reviewer (or a threshold script) can read the drift directly.
+
+type benchEntry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	PrevNsPerOp float64 `json:"prev_ns_per_op,omitempty"`
+	DeltaPct    float64 `json:"delta_pct,omitempty"`
+}
+
+type benchReport struct {
+	GeneratedBy string       `json:"generated_by"`
+	GoVersion   string       `json:"go_version"`
+	GOMAXPROCS  int          `json:"gomaxprocs"`
+	Timestamp   string       `json:"timestamp"`
+	Benchmarks  []benchEntry `json:"benchmarks"`
+}
+
+// benchKVStream builds an n-record kvenc stream shaped like collector
+// output (8-byte user keys, ~80-byte click values).
+func benchKVStream(n int) []byte {
+	rng := rand.New(rand.NewSource(7))
+	var data []byte
+	val := []byte("0001234567\tu0001234\t/p001234.html\t200\t1234\tMozilla/4.0-compatible-padpad")
+	var key [8]byte
+	for i := 0; i < n; i++ {
+		u := rng.Intn(20000)
+		key[0] = 'u'
+		for j := 7; j >= 1; j-- {
+			key[j] = byte('0' + u%10)
+			u /= 10
+		}
+		data = kvenc.AppendPair(data, key[:], val)
+	}
+	return data
+}
+
+func runBenchJSON(path string) error {
+	prev := map[string]float64{}
+	if old, err := os.ReadFile(path); err == nil {
+		var r benchReport
+		if json.Unmarshal(old, &r) == nil {
+			for _, e := range r.Benchmarks {
+				prev[e.Name] = e.NsPerOp
+			}
+		}
+	}
+
+	type spec struct {
+		name  string
+		bytes int64 // processed per op, for MB/s (0 = none)
+		fn    func(b *testing.B)
+	}
+
+	sortInput := benchKVStream(10000)
+	runs := make([][]byte, 16)
+	var mergeTotal int
+	for i := range runs {
+		runs[i], _ = kvenc.SortStream(benchKVStream(2000))
+		mergeTotal += len(runs[i])
+	}
+	payload := make([]byte, 64<<10)
+	framed := frame.Append(nil, payload)
+	hashFn := hashfam.NewFamily(1).Fn(0)
+	hashKey := []byte("u0012345")
+
+	suite := []spec{
+		{"kvenc/SortStream10k", int64(len(sortInput)), func(b *testing.B) {
+			dst := make([]byte, 0, len(sortInput))
+			for i := 0; i < b.N; i++ {
+				dst, _ = kvenc.SortStreamTo(dst[:0], sortInput)
+			}
+		}},
+		{"kvenc/MergeStream16x2k", int64(mergeTotal), func(b *testing.B) {
+			dst := make([]byte, 0, mergeTotal)
+			for i := 0; i < b.N; i++ {
+				dst, _ = kvenc.MergeStreamTo(dst[:0], runs)
+			}
+		}},
+		{"frame/Append64K", int64(len(payload)), func(b *testing.B) {
+			dst := make([]byte, 0, len(payload)+int(frame.Overhead(len(payload))))
+			for i := 0; i < b.N; i++ {
+				dst = frame.Append(dst[:0], payload)
+			}
+		}},
+		{"frame/Verify64K", int64(len(payload)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := frame.Next(framed); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"bytestore/PoolGetPut64K", 0, func(b *testing.B) {
+			bytestore.Put(bytestore.Get(64 << 10))
+			for i := 0; i < b.N; i++ {
+				bytestore.Put(bytestore.Get(64 << 10))
+			}
+		}},
+		{"hashfam/Sum64", int64(len(hashKey)), func(b *testing.B) {
+			var sink uint64
+			for i := 0; i < b.N; i++ {
+				sink += hashFn.Sum64(hashKey)
+			}
+			_ = sink
+		}},
+		{"job/SessionizationSM16G", 0, func(b *testing.B) {
+			m := onepass.DefaultModel(1.0 / 4096)
+			cluster := onepass.PaperCluster(m)
+			cluster.MergeFactor = 16
+			const users = 20_000
+			input := onepass.SyntheticClickStream(onepass.ClickStreamSpec{
+				PhysBytes: m.ScaleBytes(16e9),
+				ChunkPhys: m.ScaleBytes(64e6),
+				Seed:      42,
+				Users:     users,
+				UserSkew:  1.2,
+				URLs:      10_000,
+				URLSkew:   1.3,
+				Duration:  24 * time.Hour,
+				Jitter:    2 * time.Second,
+			})
+			for i := 0; i < b.N; i++ {
+				_, err := onepass.Run(onepass.Job{
+					Query:     onepass.Sessionization(5*time.Minute, 512, 5*time.Second),
+					Input:     input,
+					Platform:  onepass.SortMerge,
+					Cluster:   cluster,
+					Hints:     onepass.Hints{Km: 1.15, DistinctKeys: users},
+					ScanEvery: 4096,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+
+	rep := benchReport{
+		GeneratedBy: "benchtables -bench-json",
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Timestamp:   time.Now().UTC().Format(time.RFC3339),
+	}
+	for _, s := range suite {
+		fmt.Fprintf(os.Stderr, "bench %-28s ", s.name)
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			s.fn(b)
+		})
+		e := benchEntry{
+			Name:        s.name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if s.bytes > 0 && r.T > 0 {
+			e.MBPerSec = float64(s.bytes) * float64(r.N) / r.T.Seconds() / 1e6
+		}
+		if p, ok := prev[e.Name]; ok && p > 0 {
+			e.PrevNsPerOp = p
+			e.DeltaPct = 100 * (e.NsPerOp - p) / p
+		}
+		rep.Benchmarks = append(rep.Benchmarks, e)
+		fmt.Fprintf(os.Stderr, "%12.0f ns/op  %6d allocs/op", e.NsPerOp, e.AllocsPerOp)
+		if e.PrevNsPerOp > 0 {
+			fmt.Fprintf(os.Stderr, "  (%+.1f%% vs baseline)", e.DeltaPct)
+		}
+		fmt.Fprintln(os.Stderr)
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d benchmarks)\n", path, len(rep.Benchmarks))
+	return nil
+}

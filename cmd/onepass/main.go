@@ -21,6 +21,7 @@ import (
 
 	"repro"
 	"repro/internal/asciiplot"
+	"repro/internal/prof"
 )
 
 func main() {
@@ -44,6 +45,9 @@ func main() {
 		ckptFlag = flag.Duration("checkpoint-every", 0, "checkpoint incremental reducer state every virtual interval (0 = off)")
 		specFlag = flag.Bool("speculate", false, "launch speculative backups for map stragglers")
 
+		cpuFlag = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memFlag = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+
 		sumFlag     = flag.Bool("checksums", false, "CRC32C-frame every persisted stream and verify on read")
 		ioErrFlag   = flag.Float64("io-error-rate", 0, "per-request probability of a transient disk I/O error")
 		corruptFlag = flag.Float64("corrupt-rate", 0, "per-write probability of a persisted bit flip (needs -checksums)")
@@ -51,6 +55,12 @@ func main() {
 		skipFlag    = flag.Int64("skip-bad-records", 0, "bad-record quarantine budget per map task (0 = poison records fail the job)")
 	)
 	flag.Parse()
+
+	stop, err := prof.Start(*cpuFlag, *memFlag)
+	if err != nil {
+		fatal(err)
+	}
+	stopProf = stop
 
 	scale, err := parseScale(*scaleFlag)
 	if err != nil {
@@ -161,6 +171,9 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("\ntask trace written to %s (open in chrome://tracing)\n", *traceFlag)
+	}
+	if err := stopProf(); err != nil {
+		fatal(err)
 	}
 }
 
@@ -356,7 +369,14 @@ func parseScale(s string) (float64, error) {
 	return v, nil
 }
 
+// stopProf finishes profiling; fatal flushes any open profile so a
+// failed run still leaves usable pprof output.
+var stopProf = func() error { return nil }
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "onepass:", err)
+	if perr := stopProf(); perr != nil {
+		fmt.Fprintln(os.Stderr, "onepass:", perr)
+	}
 	os.Exit(1)
 }

@@ -1,0 +1,33 @@
+package bytestore
+
+import "testing"
+
+func BenchmarkPoolGetPut(b *testing.B) {
+	Put(Get(64 << 10)) // warm the class
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := Get(64 << 10)
+		Put(buf)
+	}
+}
+
+func BenchmarkPoolGetPutParallel(b *testing.B) {
+	Put(Get(64 << 10))
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			Put(Get(64 << 10))
+		}
+	})
+}
+
+func BenchmarkMakeBaseline(b *testing.B) {
+	// The allocation the pool replaces, for comparison.
+	b.ReportAllocs()
+	var sink []byte
+	for i := 0; i < b.N; i++ {
+		sink = make([]byte, 0, 64<<10)
+	}
+	_ = sink
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package bytestore
+
+const raceEnabled = false

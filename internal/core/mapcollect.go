@@ -38,6 +38,8 @@ type HashMapCollector struct {
 	raw      []*bytestore.KVBuffer
 	rawBytes int64
 
+	pk []byte // partition-prefix scratch, reused across Add calls
+
 	parts [][][]byte // finished segments per partition
 }
 
@@ -94,12 +96,14 @@ func (c *HashMapCollector) reset() {
 	c.rawBytes = 0
 }
 
-// prefixKey prepends the 2-byte partition id.
-func prefixKey(part int, key []byte) []byte {
-	out := make([]byte, 2+len(key))
-	binary.BigEndian.PutUint16(out, uint16(part))
-	copy(out[2:], key)
-	return out
+// prefixKey prepends the 2-byte partition id, building the compound
+// key in the collector's reused scratch buffer — safe because the
+// table copies keys into its arena on insert and only reads the
+// compound key transiently on lookup.
+func (c *HashMapCollector) prefixKey(part int, key []byte) []byte {
+	c.pk = append(c.pk[:0], byte(part>>8), byte(part))
+	c.pk = append(c.pk, key...)
+	return c.pk
 }
 
 // splitPrefixed strips the partition prefix.
@@ -121,7 +125,7 @@ func (c *HashMapCollector) Add(key, val []byte) {
 		c.raw[part].Append(key, st)
 		c.rawBytes += need
 	case c.inc != nil:
-		pk := prefixKey(part, key)
+		pk := c.prefixKey(part, key)
 		st := c.inc.Init(key, val)
 		cur, found, ok := c.table.UpsertState(pk, len(st), c.inc.StateSize())
 		if !ok {
@@ -143,7 +147,7 @@ func (c *HashMapCollector) Add(key, val []byte) {
 			copy(st2, st)
 		}
 	case c.comb != nil:
-		pk := prefixKey(part, key)
+		pk := c.prefixKey(part, key)
 		if !c.table.AppendValue(pk, val) {
 			c.flushTable()
 			c.table.AppendValue(pk, val)

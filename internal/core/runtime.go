@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/bytestore"
 	"repro/internal/cost"
 	"repro/internal/hashfam"
 	"repro/internal/kvenc"
@@ -60,31 +61,41 @@ const parallelSortMin = 64 << 10
 // is charged by the caller exactly as for the serial sort: the charge
 // depends on the pair count, not on how the real work was scheduled.
 func (rt *Runtime) SortStream(data []byte) ([]byte, int) {
+	return rt.SortStreamTo(nil, data)
+}
+
+// SortStreamTo is SortStream appending the sorted stream to dst
+// (which may be a recycled buffer from bytestore.Get). Shard scratch
+// buffers are recycled internally.
+func (rt *Runtime) SortStreamTo(dst, data []byte) ([]byte, int) {
 	w := 1
 	if rt.P != nil {
 		w = rt.P.Workers()
 	}
 	if w <= 1 || len(data) < parallelSortMin {
-		return kvenc.SortStream(data)
+		return kvenc.SortStreamTo(dst, data)
 	}
 	pieces := kvenc.SplitStream(data, w)
 	if len(pieces) <= 1 {
-		return kvenc.SortStream(data)
+		return kvenc.SortStreamTo(dst, data)
 	}
 	sorted := make([][]byte, len(pieces))
 	counts := make([]int, len(pieces))
 	rt.P.ParallelFor(len(pieces), func(i int) {
-		sorted[i], counts[i] = kvenc.SortStream(pieces[i])
+		sorted[i], counts[i] = kvenc.SortStreamTo(bytestore.Get(len(pieces[i])), pieces[i])
 	})
 	n := 0
 	for _, c := range counts {
 		n += c
 	}
-	merged, err := kvenc.MergeStreamChecked(sorted)
+	merged, err := kvenc.MergeStreamTo(dst, sorted)
 	if err != nil {
 		// The shards were just produced in memory by SortStream; a
 		// corrupt shard is a bug, never a recoverable disk fault.
 		panic(fmt.Errorf("core: sharded sort produced a corrupt run: %w", err))
+	}
+	for _, s := range sorted {
+		bytestore.Put(s)
 	}
 	return merged, n
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 
+	"repro/internal/bytestore"
 	"repro/internal/core"
 	"repro/internal/kvenc"
 	"repro/internal/metrics"
@@ -296,6 +297,9 @@ func (j *job) runMapAttempt(p *sim.Proc, chunk int, n *node, attempt int, fail, 
 		for ; nextFork < len(tasks) && nextFork < limit; nextFork++ {
 			t := tasks[nextFork]
 			segment := data[t.off:t.end]
+			// Recycled emission buffer, handed back after the replay;
+			// sized to the segment as map output is usually comparable.
+			t.out.pairs = bytestore.Get(len(segment))
 			t.fut = p.Fork(func() { j.mapSegment(segment, wm, &t.out) })
 		}
 	}
@@ -352,7 +356,8 @@ func (j *job) runMapAttempt(p *sim.Proc, chunk int, n *node, attempt int, fail, 
 			cpu += model.CPUOps(model.CPUHashInsert, t.out.records)
 		}
 		n.chargeCPU(p, cpu, &ledger)
-		t.out = segMapResult{} // release the segment's buffers
+		bytestore.Put(t.out.pairs) // replay copied every pair into the collector
+		t.out = segMapResult{}
 		if failAt >= 0 && t.end >= failAt {
 			// The attempt dies here: work and output are lost; the
 			// JobTracker reschedules the task. The deferred Join
@@ -427,7 +432,13 @@ func (j *job) publishMapOutput(p *sim.Proc, n *node, name string, task int, part
 		partOff:   make([]int64, len(parts)),
 		records:   records,
 	}
-	var all []byte
+	var total int
+	for _, segs := range parts {
+		for _, s := range segs {
+			total += len(s)
+		}
+	}
+	all := bytestore.Get(total)
 	for pi, segs := range parts {
 		o.partOff[pi] = int64(len(all))
 		for _, s := range segs {
@@ -441,6 +452,7 @@ func (j *job) publishMapOutput(p *sim.Proc, n *node, name string, task int, part
 		// shuffle reads verify exactly the partition they fetch.
 		n.store.AppendFrames(p, o.file, all, storage.MapOutput, o.partBytes)
 	}
+	bytestore.Put(all) // AppendFrames copied the bytes into the file
 	n.cacheAdd(o)
 	j.shuffle.publish(o)
 	return o
@@ -462,6 +474,7 @@ type hopCollector struct {
 	}
 
 	buf     []byte
+	pk      []byte // partition-prefix scratch, reused across Add calls
 	spills  int
 	mapped  int64
 	emitted int64
@@ -475,14 +488,15 @@ func newHOPCollector(j *job, rt *core.Runtime, n *node, chunk int) *hopCollector
 	return h
 }
 
-// Add implements collector.
+// Add implements collector. The partition-prefixed key is built in a
+// reused scratch buffer (AppendPair copies it into the collect buffer
+// immediately).
 func (h *hopCollector) Add(key, val []byte) {
 	h.mapped++
 	part := h.h1.Bucket(key, h.j.numReducers)
-	pk := make([]byte, 2+len(key))
-	pk[0], pk[1] = byte(part>>8), byte(part)
-	copy(pk[2:], key)
-	h.buf = kvenc.AppendPair(h.buf, pk, val)
+	h.pk = append(h.pk[:0], byte(part>>8), byte(part))
+	h.pk = append(h.pk, key...)
+	h.buf = kvenc.AppendPair(h.buf, h.pk, val)
 	if int64(len(h.buf)) >= h.j.spec.Cluster.MapBuffer {
 		h.push()
 	}
@@ -495,11 +509,11 @@ func (h *hopCollector) push() {
 		return
 	}
 	model := h.rt.Model
-	sorted, n := h.rt.SortStream(h.buf)
+	sorted, n := h.rt.SortStreamTo(bytestore.Get(len(h.buf)), h.buf)
 	h.rt.ChargeCPU(model.CPUSort(int64(n)))
-	h.buf = nil
+	h.buf = h.buf[:0] // collect buffer is recycled in place
 	if h.comb != nil {
-		var out []byte
+		out := bytestore.Get(len(sorted))
 		var records int64
 		if err := kvenc.MergeGroupsChecked([][]byte{sorted}, func(pk []byte, vals kvenc.ValueIter) bool {
 			grp := &kvenc.CountingIter{Inner: vals}
@@ -512,6 +526,7 @@ func (h *hopCollector) push() {
 			panic(fmt.Errorf("engine: corrupt hop spill in map task %d: %w", h.chunk, err))
 		}
 		h.rt.ChargeOps(model.CPUCombine, records)
+		bytestore.Put(sorted)
 		sorted = out
 	}
 	// Split the sorted compound run into per-partition segments.
@@ -531,6 +546,7 @@ func (h *hopCollector) push() {
 	if err := it.Err(); err != nil {
 		panic(fmt.Errorf("engine: corrupt hop spill in map task %d: %w", h.chunk, err))
 	}
+	bytestore.Put(sorted) // per-partition segments copied out above
 	for pi, s := range segs {
 		if len(s) > 0 {
 			parts[pi] = [][]byte{s}

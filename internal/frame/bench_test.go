@@ -1,0 +1,39 @@
+package frame
+
+import (
+	"bytes"
+	"testing"
+)
+
+func BenchmarkAppend(b *testing.B) {
+	payload := bytes.Repeat([]byte("abcdefgh"), 8192)
+	dst := make([]byte, 0, len(payload)+int(Overhead(len(payload))))
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = Append(dst[:0], payload)
+	}
+}
+
+func BenchmarkChecksum(b *testing.B) {
+	payload := bytes.Repeat([]byte("abcdefgh"), 8192)
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	var sink uint32
+	for i := 0; i < b.N; i++ {
+		sink += Checksum(payload)
+	}
+	_ = sink
+}
+
+func BenchmarkNext(b *testing.B) {
+	payload := bytes.Repeat([]byte("abcdefgh"), 8192)
+	framed := Append(nil, payload)
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Next(framed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

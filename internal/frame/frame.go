@@ -38,31 +38,46 @@ var ErrCorrupt = errors.New("frame: corrupt frame")
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
-// headerBytes encodes the frame header for an n-byte payload.
-func headerBytes(n int) []byte {
-	var hdr [1 + binary.MaxVarintLen64]byte
-	hdr[0] = Magic
-	m := 1 + binary.PutUvarint(hdr[1:], uint64(n))
-	return hdr[:m]
-}
+// The header is built into a stack array at each call site (not a
+// slice returned from a shared helper, which would escape to the
+// heap) so the whole frame path is free of allocations — the
+// allocation-regression tests pin this down.
 
 // Overhead returns the framing bytes added around an n-byte payload:
 // the magic byte, the uvarint length field, and the CRC trailer.
 func Overhead(n int) int64 {
-	return int64(len(headerBytes(n))) + TrailerSize
+	l := int64(1)
+	for v := uint64(n); v >= 0x80; v >>= 7 {
+		l++
+	}
+	return l + 1 + TrailerSize
 }
 
 // Checksum returns the CRC32C a frame holding payload carries. It
 // covers header and payload, so it doubles as the stored checksum for
 // unframed payloads whose framing exists only as metadata.
 func Checksum(payload []byte) uint32 {
-	c := crc32.Update(0, castagnoli, headerBytes(len(payload)))
-	return crc32.Update(c, castagnoli, payload)
+	var hdr [1 + binary.MaxVarintLen64]byte
+	hdr[0] = Magic
+	m := 1 + binary.PutUvarint(hdr[1:], uint64(len(payload)))
+	// Byte-at-a-time table update for the ≤11-byte header: identical
+	// to crc32.Update, but escape analysis can prove the stack array
+	// never leaves the frame (crc32.Update's generic fallback branch
+	// leaks its argument, which would heap-allocate hdr on every
+	// call). The payload still goes through the accelerated path.
+	c := ^uint32(0)
+	for _, v := range hdr[:m] {
+		c = castagnoli[byte(c)^v] ^ (c >> 8)
+	}
+	return crc32.Update(^c, castagnoli, payload)
 }
 
 // Append appends one frame wrapping payload to dst.
 func Append(dst, payload []byte) []byte {
-	dst = append(dst, headerBytes(len(payload))...)
+	var hdr [1 + binary.MaxVarintLen64]byte
+	hdr[0] = Magic
+	m := 1 + binary.PutUvarint(hdr[1:], uint64(len(payload)))
+	dst = append(dst, hdr[:m]...)
 	dst = append(dst, payload...)
 	var tr [TrailerSize]byte
 	binary.LittleEndian.PutUint32(tr[:], Checksum(payload))

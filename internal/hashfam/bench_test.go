@@ -1,0 +1,45 @@
+package hashfam
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchKeys(n int) [][]byte {
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("u%07d", i*2654435761%10000000))
+	}
+	return keys
+}
+
+func BenchmarkSum64(b *testing.B) {
+	f := NewFamily(1).Fn(0)
+	keys := benchKeys(1024)
+	var total int64
+	for _, k := range keys {
+		total += int64(len(k))
+	}
+	b.SetBytes(total)
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		for _, k := range keys {
+			sink += f.Sum64(k)
+		}
+	}
+	_ = sink
+}
+
+func BenchmarkBucket(b *testing.B) {
+	f := NewFamily(1).Fn(0)
+	keys := benchKeys(1024)
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		for _, k := range keys {
+			sink += f.Bucket(k, 64)
+		}
+	}
+	_ = sink
+}

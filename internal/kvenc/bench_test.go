@@ -1,0 +1,139 @@
+package kvenc
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Wall-clock micro-benchmarks for the sort/merge/encode kernels. The
+// *Ref variants benchmark the retained stdlib reference
+// implementations, so one `go test -bench .` run shows the kernel
+// speedups directly and benchstat can track regressions.
+
+func benchStream(n int) []byte {
+	rng := rand.New(rand.NewSource(7))
+	var data []byte
+	for i := 0; i < n; i++ {
+		data = AppendPair(data,
+			[]byte(fmt.Sprintf("u%07d", rng.Intn(20000))),
+			[]byte("0001234567\tu0001234\t/p001234.html\t200\t1234\tMozilla/4.0-compatible-padpadpad"))
+	}
+	return data
+}
+
+func benchRuns(k, n int) [][]byte {
+	runs := make([][]byte, k)
+	for i := range runs {
+		runs[i], _ = SortStream(benchStream(n))
+	}
+	return runs
+}
+
+func BenchmarkSortStream(b *testing.B) {
+	data := benchStream(10000)
+	dst := make([]byte, 0, len(data))
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, _ = SortStreamTo(dst[:0], data)
+	}
+}
+
+func BenchmarkSortStreamStableRef(b *testing.B) {
+	data := benchStream(10000)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = sortStreamStable(data)
+	}
+}
+
+func BenchmarkMergeStream(b *testing.B) {
+	runs := benchRuns(16, 2000)
+	var total int
+	for _, r := range runs {
+		total += len(r)
+	}
+	dst := make([]byte, 0, total)
+	b.SetBytes(int64(total))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, _ = MergeStreamTo(dst[:0], runs)
+	}
+}
+
+func BenchmarkMergeStreamHeapRef(b *testing.B) {
+	runs := benchRuns(16, 2000)
+	var total int
+	for _, r := range runs {
+		total += len(r)
+	}
+	dst := make([]byte, 0, total)
+	b.SetBytes(int64(total))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = dst[:0]
+		m := newHeapMerger(runs)
+		for {
+			k, v, ok := m.Next()
+			if !ok {
+				break
+			}
+			dst = AppendPair(dst, k, v)
+		}
+	}
+}
+
+func BenchmarkMergeGroups(b *testing.B) {
+	runs := benchRuns(8, 2000)
+	var total int
+	for _, r := range runs {
+		total += len(r)
+	}
+	b.SetBytes(int64(total))
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		MergeGroups(runs, func(key []byte, vals ValueIter) bool {
+			for {
+				v, ok := vals.Next()
+				if !ok {
+					return true
+				}
+				sink += len(v)
+			}
+		})
+	}
+	_ = sink
+}
+
+func BenchmarkAppendPair(b *testing.B) {
+	key, val := []byte("u0012345"), []byte("click-record-payload-bytes")
+	dst := make([]byte, 0, 64<<10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(dst)+64 > cap(dst) {
+			dst = dst[:0]
+		}
+		dst = AppendPair(dst, key, val)
+	}
+}
+
+func BenchmarkIteratorNext(b *testing.B) {
+	data := benchStream(10000)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		it := Iterator{data: data}
+		for {
+			k, v, ok := it.Next()
+			if !ok {
+				break
+			}
+			sink += len(k) + len(v)
+		}
+	}
+	_ = sink
+}

@@ -15,10 +15,8 @@ package kvenc
 
 import (
 	"bytes"
-	"container/heap"
 	"encoding/binary"
 	"errors"
-	"sort"
 )
 
 // ErrCorrupt is reported by Iterator.Err when a stream's framing is
@@ -110,33 +108,6 @@ func Count(data []byte) int {
 	}
 }
 
-// SortStream sorts a stream's pairs by key (stable) and returns a new
-// encoded stream along with the pair count. It is the map-side sort of
-// the sort-merge implementation.
-func SortStream(data []byte) ([]byte, int) {
-	type span struct {
-		keyOff, keyEnd int // key bytes
-		off, end       int // whole pair
-	}
-	var spans []span
-	for p := 0; p < len(data); {
-		keyOff, keyEnd, end, ok := scanPair(data[p:])
-		if !ok {
-			break // drop a corrupt tail rather than panic
-		}
-		spans = append(spans, span{keyOff: p + keyOff, keyEnd: p + keyEnd, off: p, end: p + end})
-		p += end
-	}
-	sort.SliceStable(spans, func(i, j int) bool {
-		return bytes.Compare(data[spans[i].keyOff:spans[i].keyEnd], data[spans[j].keyOff:spans[j].keyEnd]) < 0
-	})
-	out := make([]byte, 0, len(data))
-	for _, s := range spans {
-		out = append(out, data[s.off:s.end]...)
-	}
-	return out, len(spans)
-}
-
 // SplitStream cuts a stream into at most k contiguous pieces at pair
 // boundaries, roughly equal in bytes, preserving pair order across
 // pieces (every pair of piece i precedes every pair of piece i+1 in
@@ -189,90 +160,6 @@ func IsSorted(data []byte) bool {
 	}
 }
 
-// mergeHeap orders run iterators by (current key, run index).
-type mergeHeap struct {
-	its  []*Iterator
-	keys [][]byte
-	vals [][]byte
-	idx  []int
-}
-
-func (h *mergeHeap) Len() int { return len(h.its) }
-func (h *mergeHeap) Less(i, j int) bool {
-	c := bytes.Compare(h.keys[i], h.keys[j])
-	if c != 0 {
-		return c < 0
-	}
-	return h.idx[i] < h.idx[j]
-}
-func (h *mergeHeap) Swap(i, j int) {
-	h.its[i], h.its[j] = h.its[j], h.its[i]
-	h.keys[i], h.keys[j] = h.keys[j], h.keys[i]
-	h.vals[i], h.vals[j] = h.vals[j], h.vals[i]
-	h.idx[i], h.idx[j] = h.idx[j], h.idx[i]
-}
-func (h *mergeHeap) Push(x interface{}) { panic("unused") }
-func (h *mergeHeap) Pop() interface{}   { panic("unused") }
-
-// Merger produces the merged (key-ordered) sequence of several runs.
-// A corrupt run stops contributing at its first invalid pair; the
-// merge continues over the remaining runs and Err reports the damage,
-// so callers fail loudly instead of silently losing a run's tail
-// (kvenc itself never panics on corrupt bytes — worker goroutines
-// must not bring down the kernel).
-type Merger struct {
-	h   mergeHeap
-	err error
-}
-
-// NewMerger creates a k-way merger over the given runs.
-func NewMerger(runs [][]byte) *Merger {
-	m := &Merger{}
-	for i, r := range runs {
-		it := NewIterator(r)
-		if k, v, ok := it.Next(); ok {
-			m.h.its = append(m.h.its, it)
-			m.h.keys = append(m.h.keys, k)
-			m.h.vals = append(m.h.vals, v)
-			m.h.idx = append(m.h.idx, i)
-		} else if it.Err() != nil && m.err == nil {
-			m.err = it.Err()
-		}
-	}
-	heap.Init(&m.h)
-	return m
-}
-
-// Err returns ErrCorrupt if any input run stopped on invalid framing
-// rather than a clean end of run. Check it after the merge drains.
-func (m *Merger) Err() error { return m.err }
-
-// Next returns the next pair in merged key order.
-func (m *Merger) Next() (key, val []byte, ok bool) {
-	if m.h.Len() == 0 {
-		return nil, nil, false
-	}
-	key, val = m.h.keys[0], m.h.vals[0]
-	if k, v, more := m.h.its[0].Next(); more {
-		m.h.keys[0], m.h.vals[0] = k, v
-		heap.Fix(&m.h, 0)
-	} else {
-		if err := m.h.its[0].Err(); err != nil && m.err == nil {
-			m.err = err
-		}
-		n := m.h.Len() - 1
-		m.h.Swap(0, n)
-		m.h.its = m.h.its[:n]
-		m.h.keys = m.h.keys[:n]
-		m.h.vals = m.h.vals[:n]
-		m.h.idx = m.h.idx[:n]
-		if n > 0 {
-			heap.Fix(&m.h, 0)
-		}
-	}
-	return key, val, true
-}
-
 // MergeStream fully merges runs into a single encoded run, silently
 // tolerating corrupt tails — for consumers with no error channel
 // (fuzzing, diagnostics). Production paths use MergeStreamChecked.
@@ -289,14 +176,21 @@ func MergeStreamChecked(runs [][]byte) ([]byte, error) {
 	for _, r := range runs {
 		total += len(r)
 	}
-	out := make([]byte, 0, total)
+	return MergeStreamTo(make([]byte, 0, total), runs)
+}
+
+// MergeStreamTo is MergeStreamChecked appending the merged run to dst
+// (which may be a recycled buffer from bytestore.Get); callers that
+// pass a buffer with enough capacity get an allocation-free merge
+// apart from the merger's own fixed state.
+func MergeStreamTo(dst []byte, runs [][]byte) ([]byte, error) {
 	m := NewMerger(runs)
 	for {
 		k, v, ok := m.Next()
 		if !ok {
-			return out, m.Err()
+			return dst, m.Err()
 		}
-		out = AppendPair(out, k, v)
+		dst = AppendPair(dst, k, v)
 	}
 }
 
@@ -354,8 +248,9 @@ func MergeGroups(runs [][]byte, fn func(key []byte, vals ValueIter) bool) {
 func MergeGroupsChecked(runs [][]byte, fn func(key []byte, vals ValueIter) bool) error {
 	m := NewMerger(runs)
 	k, v, ok := m.Next()
+	g := &groupIter{} // one iterator reset per group, not one allocation
 	for ok {
-		g := &groupIter{m: m, key: k, pending: v}
+		*g = groupIter{m: m, key: k, pending: v}
 		cont := fn(k, g)
 		// Drain any unconsumed values of this group.
 		for !g.done {

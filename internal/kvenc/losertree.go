@@ -1,0 +1,137 @@
+package kvenc
+
+import "bytes"
+
+// Merger produces the merged (key-ordered) sequence of several runs.
+// A corrupt run stops contributing at its first invalid pair; the
+// merge continues over the remaining runs and Err reports the damage,
+// so callers fail loudly instead of silently losing a run's tail
+// (kvenc itself never panics on corrupt bytes — worker goroutines
+// must not bring down the kernel).
+//
+// The merger is a tournament loser tree: internal nodes hold the
+// loser of the match below them and the overall winner sits at the
+// root, so replacing the winner after each Next replays exactly one
+// leaf-to-root path — ⌈log₂ k⌉ comparisons, no interface boxing, no
+// sift-down branching. Ties between runs resolve by run index, which
+// preserves the stable "run order wins" contract of the heap merger
+// it replaced (kept in heapmerge.go as the differential-test
+// reference).
+type Merger struct {
+	its    []Iterator
+	keys   [][]byte
+	vals   [][]byte
+	done   []bool
+	tree   []int32 // internal nodes 1..k-1: loser leaf index (-1 = bye)
+	winner int32
+	k      int
+	err    error
+}
+
+// NewMerger creates a k-way merger over the given runs. Leaf index ==
+// run index, so tie-breaks follow run order exactly.
+func NewMerger(runs [][]byte) *Merger {
+	k := len(runs)
+	m := &Merger{
+		its:  make([]Iterator, k),
+		keys: make([][]byte, k),
+		vals: make([][]byte, k),
+		done: make([]bool, k),
+		k:    k,
+	}
+	for i, r := range runs {
+		m.its[i].data = r
+		if key, val, ok := m.its[i].Next(); ok {
+			m.keys[i], m.vals[i] = key, val
+		} else {
+			m.done[i] = true
+			if err := m.its[i].Err(); err != nil && m.err == nil {
+				m.err = err
+			}
+		}
+	}
+	switch k {
+	case 0:
+		m.winner = -1
+	case 1:
+		m.winner = 0
+	default:
+		m.tree = make([]int32, k)
+		m.winner = m.initNode(1)
+	}
+	return m
+}
+
+// beats reports whether leaf i wins the match against leaf j.
+// Exhausted leaves and byes (-1) lose to everything; among two losers
+// the lower index wins, keeping the replay paths deterministic.
+func (m *Merger) beats(i, j int32) bool {
+	switch {
+	case i < 0:
+		return false
+	case j < 0:
+		return true
+	case m.done[i]:
+		return false
+	case m.done[j]:
+		return true
+	}
+	if c := bytes.Compare(m.keys[i], m.keys[j]); c != 0 {
+		return c < 0
+	}
+	return i < j
+}
+
+// initNode builds the tournament below internal node n (leaves live
+// at positions k..2k-1 of the implicit complete tree), storing losers
+// on the way up and returning the subtree's winner.
+func (m *Merger) initNode(n int) int32 {
+	if n >= m.k {
+		return int32(n - m.k)
+	}
+	w1 := m.initNode(2 * n)
+	w2 := m.initNode(2*n + 1)
+	if m.beats(w2, w1) {
+		w1, w2 = w2, w1
+	}
+	m.tree[n] = w2
+	return w1
+}
+
+// replay re-runs the matches on leaf l's path to the root after its
+// value changed, updating the overall winner.
+func (m *Merger) replay(l int32) {
+	w := l
+	for n := (int(l) + m.k) / 2; n >= 1; n /= 2 {
+		if m.beats(m.tree[n], w) {
+			w, m.tree[n] = m.tree[n], w
+		}
+	}
+	m.winner = w
+}
+
+// Err returns ErrCorrupt if any input run stopped on invalid framing
+// rather than a clean end of run. Check it after the merge drains.
+func (m *Merger) Err() error { return m.err }
+
+// Next returns the next pair in merged key order.
+func (m *Merger) Next() (key, val []byte, ok bool) {
+	w := m.winner
+	if w < 0 || m.done[w] {
+		return nil, nil, false
+	}
+	key, val = m.keys[w], m.vals[w]
+	if k2, v2, more := m.its[w].Next(); more {
+		m.keys[w], m.vals[w] = k2, v2
+	} else {
+		if err := m.its[w].Err(); err != nil && m.err == nil {
+			m.err = err
+		}
+		m.done[w] = true
+		m.keys[w], m.vals[w] = nil, nil
+	}
+	if m.k > 1 {
+		m.replay(w)
+	}
+	return key, val, true
+}

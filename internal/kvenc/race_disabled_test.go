@@ -1,0 +1,5 @@
+//go:build !race
+
+package kvenc
+
+const raceEnabled = false

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/bytestore"
 	"repro/internal/kvenc"
 	"repro/internal/sim"
 	"repro/internal/storage"
@@ -105,12 +106,15 @@ func (t *Tree) MergeOnce(p *sim.Proc, cpu CPUCharger) bool {
 
 	runs := make([][]byte, 0, t.f)
 	var records int64
+	var total int
 	for _, v := range victims {
 		data := t.store.ReadAll(p, v, t.seg, t.class)
-		// Copy: the file is deleted below and its backing array freed.
-		runs = append(runs, append([]byte(nil), data...))
+		// Copy (into a recycled buffer): the file is deleted below and
+		// its backing array freed.
+		runs = append(runs, append(bytestore.Get(len(data)), data...))
+		total += len(data)
 	}
-	merged, err := kvenc.MergeStreamChecked(runs)
+	merged, err := kvenc.MergeStreamTo(bytestore.Get(total), runs)
 	if err != nil {
 		// The frame layer (when on) catches disk corruption before the
 		// bytes reach here; a corrupt run past that point is a bug, not
@@ -127,6 +131,12 @@ func (t *Tree) MergeOnce(p *sim.Proc, cpu CPUCharger) bool {
 	t.store.Append(p, out, merged, t.class)
 	t.spilledBytes += int64(len(merged))
 	t.mergedBytes += int64(len(merged))
+	// Append copied merged into the file; nothing aliases the scratch
+	// buffers anymore.
+	for _, r := range runs {
+		bytestore.Put(r)
+	}
+	bytestore.Put(merged)
 
 	kept := t.files[:0]
 	for _, f := range t.files {
@@ -153,12 +163,15 @@ func (t *Tree) Complete(p *sim.Proc, cpu CPUCharger) {
 
 // FinalRuns reads every remaining file (charging I/O) and returns
 // their contents for the final streaming merge. The files are then
-// deleted: their bytes have been consumed.
+// deleted: their bytes have been consumed. The returned runs are
+// recycled buffers: the caller may bytestore.Put each one once the
+// final merge has drained it (optional — unreturned buffers just fall
+// to the GC).
 func (t *Tree) FinalRuns(p *sim.Proc) [][]byte {
 	runs := make([][]byte, 0, len(t.files))
 	for _, f := range t.files {
 		data := t.store.ReadAll(p, f, t.seg, t.class)
-		runs = append(runs, append([]byte(nil), data...))
+		runs = append(runs, append(bytestore.Get(len(data)), data...))
 		t.store.Delete(f)
 	}
 	t.files = nil

@@ -1,0 +1,48 @@
+// Package prof wires the standard -cpuprofile/-memprofile flags into
+// the command-line tools. Both profiles are written in pprof format;
+// inspect them with `go tool pprof <binary> <file>`.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling (if cpu is non-empty) and returns a stop
+// function that finishes the CPU profile and writes a heap profile (if
+// mem is non-empty). Call stop exactly once, after the measured work.
+func Start(cpu, mem string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpu != "" {
+		cpuFile, err = os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("start cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("write heap profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -2,7 +2,6 @@ package queries
 
 import (
 	"encoding/binary"
-	"fmt"
 	"sort"
 	"time"
 
@@ -34,6 +33,70 @@ type Sessionization struct {
 	stateSize int
 
 	watermark int64 // max click timestamp seen by the map function
+
+	// Reduce/merge scratch. Reduce, MergeStates, and emitFront all run
+	// in simulated-process context, which the DES kernel serializes
+	// (only Map runs on the compute pool), so per-query scratch
+	// buffers are safe and keep the per-click paths allocation-free.
+	arena   []byte      // click records collected by Reduce
+	refs    []clickRef  // sort keys into arena
+	clicks  []sessClick // MergeStates splice scratch
+	emitBuf []byte      // "s%04d\t<record>" assembly for Emit
+}
+
+// clickRef is one click collected by Reduce: its timestamp and the
+// record's range in the arena (offsets, not slices, so arena growth
+// cannot invalidate them).
+type clickRef struct {
+	ts       int64
+	off, end int
+}
+
+// clickRefs sorts refs by timestamp; sort.Stable keeps arrival order
+// on ties, exactly like the sort.SliceStable call it replaced.
+type clickRefs []clickRef
+
+func (s clickRefs) Len() int           { return len(s) }
+func (s clickRefs) Less(i, j int) bool { return s[i].ts < s[j].ts }
+func (s clickRefs) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+
+// sessClick is one packed click during a state splice; rec aliases
+// the source state (stable for the duration of the call).
+type sessClick struct {
+	ts  int64
+	rec []byte
+}
+
+// sessClicks sorts clicks by timestamp, stable on ties.
+type sessClicks []sessClick
+
+func (s sessClicks) Len() int           { return len(s) }
+func (s sessClicks) Less(i, j int) bool { return s[i].ts < s[j].ts }
+func (s sessClicks) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+
+// appendSession appends "s<session>\t<rec>" with the session number
+// zero-padded to 4 digits — bytewise identical to
+// Sprintf("s%04d\t%s", session, rec), which dominated reduce-side CPU
+// profiles.
+func appendSession(dst []byte, session int, rec []byte) []byte {
+	var tmp [20]byte
+	i := len(tmp)
+	if session == 0 {
+		i--
+		tmp[i] = '0'
+	}
+	for x := session; x > 0; x /= 10 {
+		i--
+		tmp[i] = byte('0' + x%10)
+	}
+	for len(tmp)-i < 4 {
+		i--
+		tmp[i] = '0'
+	}
+	dst = append(dst, 's')
+	dst = append(dst, tmp[i:]...)
+	dst = append(dst, '\t')
+	return append(dst, rec...)
 }
 
 // NewSessionization creates the query. stateSize is the per-user
@@ -74,27 +137,27 @@ func (q *Sessionization) AdvanceWatermark(ts int64) {
 // Reduce implements mr.Query (the sort-merge / MR-hash path): sort the
 // user's clicks by timestamp and emit them split into sessions.
 func (q *Sessionization) Reduce(key []byte, values kvenc.ValueIter, out mr.OutputWriter) {
-	type click struct {
-		ts  int64
-		rec []byte
-	}
-	var clicks []click
+	arena, refs := q.arena[:0], q.refs[:0]
 	for {
 		v, ok := values.Next()
 		if !ok {
 			break
 		}
-		clicks = append(clicks, click{ts: clickTs(v), rec: append([]byte(nil), v...)})
+		off := len(arena)
+		arena = append(arena, v...)
+		refs = append(refs, clickRef{ts: clickTs(v), off: off, end: len(arena)})
 	}
-	sort.SliceStable(clicks, func(i, j int) bool { return clicks[i].ts < clicks[j].ts })
+	sort.Stable(clickRefs(refs))
 	session, last := 0, int64(-1)
-	for _, c := range clicks {
-		if last >= 0 && c.ts-last > q.gap {
+	for _, r := range refs {
+		if last >= 0 && r.ts-last > q.gap {
 			session++
 		}
-		last = c.ts
-		out.Emit(key, []byte(fmt.Sprintf("s%04d\t%s", session, c.rec)))
+		last = r.ts
+		q.emitBuf = appendSession(q.emitBuf[:0], session, arena[r.off:r.end])
+		out.Emit(key, q.emitBuf)
 	}
+	q.arena, q.refs = arena, refs
 }
 
 // State layout:
@@ -150,20 +213,18 @@ func (q *Sessionization) MergeStates(key, a, b []byte) []byte {
 	if len(b) < sessHeader {
 		return a
 	}
-	type click struct {
-		ts  int64
-		rec []byte
-	}
-	var merged []click
+	// The collected recs alias a and b, which stay untouched until the
+	// fresh output buffer below is assembled — no per-click copies.
+	merged := q.clicks[:0]
 	collect := func(st []byte) {
 		eachClick(st, func(_ int, ts int64, rec []byte) bool {
-			merged = append(merged, click{ts, append([]byte(nil), rec...)})
+			merged = append(merged, sessClick{ts, rec})
 			return true
 		})
 	}
 	collect(a)
 	collect(b)
-	sort.SliceStable(merged, func(i, j int) bool { return merged[i].ts < merged[j].ts })
+	sort.Stable(sessClicks(merged))
 	// Keep a's bookkeeping; take the later lastEmit.
 	out := make([]byte, sessHeader, len(a)+len(b))
 	copy(out, a[:sessHeader])
@@ -173,6 +234,7 @@ func (q *Sessionization) MergeStates(key, a, b []byte) []byte {
 	for _, c := range merged {
 		out = appendClick(out, c.ts, c.rec)
 	}
+	q.clicks = merged[:0]
 	return out
 }
 
@@ -196,7 +258,8 @@ func (q *Sessionization) emitFront(key, st []byte, out mr.OutputWriter, cond fun
 			session++
 		}
 		last = ts
-		out.Emit(key, []byte(fmt.Sprintf("s%04d\t%s", session, rec)))
+		q.emitBuf = appendSession(q.emitBuf[:0], session, rec)
+		out.Emit(key, q.emitBuf)
 		off += 10 + l
 	}
 	if off == sessHeader {

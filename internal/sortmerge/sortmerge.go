@@ -22,6 +22,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"repro/internal/bytestore"
 	"repro/internal/core"
 	"repro/internal/kvenc"
 	"repro/internal/merge"
@@ -30,13 +31,14 @@ import (
 	"repro/internal/storage"
 )
 
-// prefixKey prepends the 2-byte big-endian partition id so one sort
-// orders by (partition, key), as Hadoop does.
-func prefixKey(part int, key []byte) []byte {
-	out := make([]byte, 2+len(key))
-	binary.BigEndian.PutUint16(out, uint16(part))
-	copy(out[2:], key)
-	return out
+// appendPrefixKey appends the 2-byte big-endian partition id followed
+// by the key, so one sort orders by (partition, key), as Hadoop does.
+// Appending into a per-collector scratch buffer keeps the per-record
+// collect path allocation-free (the encoded pair is copied into the
+// collect buffer immediately, so reusing the scratch is safe).
+func appendPrefixKey(dst []byte, part int, key []byte) []byte {
+	dst = append(dst, byte(part>>8), byte(part))
+	return append(dst, key...)
 }
 
 func splitPrefixed(pk []byte) (part int, key []byte) {
@@ -71,6 +73,7 @@ type MapCollector struct {
 
 	buf     []byte
 	bufRecs int64
+	pk      []byte // prefixKey scratch, reused across Add calls
 	tree    *merge.Tree
 
 	mapped  int64
@@ -91,31 +94,36 @@ func NewMapCollector(rt *core.Runtime, q mr.Query, cfg MapCollectorConfig) *MapC
 func (c *MapCollector) Add(key, val []byte) {
 	c.mapped++
 	part := c.h1.Bucket(key, c.cfg.Partitions)
-	c.buf = kvenc.AppendPair(c.buf, prefixKey(part, key), val)
+	c.pk = appendPrefixKey(c.pk[:0], part, key)
+	c.buf = kvenc.AppendPair(c.buf, c.pk, val)
 	c.bufRecs++
 	if int64(len(c.buf)) >= c.cfg.Buffer {
 		c.spill()
 	}
 }
 
-// sortBuffer sorts (and combines) the current buffer into a run. The
-// sort runs sharded on the kernel's compute pool (bytewise identical
-// to a serial sort); the virtual CPU charge is unchanged.
+// sortBuffer sorts (and combines) the current buffer into a run,
+// built in a recycled buffer the caller hands back with bytestore.Put
+// once the run's bytes are copied out or consumed. The sort runs
+// sharded on the kernel's compute pool (bytewise identical to a
+// serial sort); the virtual CPU charge is unchanged.
 func (c *MapCollector) sortBuffer() []byte {
-	sorted, n := c.rt.SortStream(c.buf)
+	sorted, n := c.rt.SortStreamTo(bytestore.Get(len(c.buf)), c.buf)
 	c.rt.ChargeCPU(c.rt.Model.CPUSort(int64(n)))
 	if c.comb != nil {
-		sorted = c.combineRun(sorted)
+		combined := c.combineRun(sorted)
+		bytestore.Put(sorted)
+		sorted = combined
 	}
-	c.buf = nil
+	c.buf = c.buf[:0] // collect buffer is recycled in place
 	c.bufRecs = 0
 	return sorted
 }
 
 // combineRun applies the combine function to each (partition, key)
-// group of a sorted run.
+// group of a sorted run, producing a recycled buffer.
 func (c *MapCollector) combineRun(run []byte) []byte {
-	var out []byte
+	out := bytestore.Get(len(run))
 	var records int64
 	if err := kvenc.MergeGroupsChecked([][]byte{run}, func(pk []byte, vals kvenc.ValueIter) bool {
 		_, key := splitPrefixed(pk)
@@ -138,7 +146,9 @@ func (c *MapCollector) spill() {
 	if c.tree == nil {
 		c.tree = merge.NewTree(c.rt.Store, storage.MapSpill, c.cfg.Prefix, c.cfg.MergeFactor, c.cfg.ReadSegment)
 	}
-	c.tree.AddRun(c.rt.P, c.sortBuffer())
+	run := c.sortBuffer()
+	c.tree.AddRun(c.rt.P, run) // AddRun writes (copies) the run to disk
+	bytestore.Put(run)
 	for c.tree.NeedsMerge() {
 		c.tree.MergeOnce(c.rt.P, charger{c.rt})
 	}
@@ -153,14 +163,23 @@ func (c *MapCollector) Finish() (parts [][][]byte, mapped, emitted int64) {
 		final = c.sortBuffer()
 	} else {
 		if len(c.buf) > 0 {
-			c.tree.AddRun(c.rt.P, c.sortBuffer())
+			run := c.sortBuffer()
+			c.tree.AddRun(c.rt.P, run)
+			bytestore.Put(run)
 		}
 		c.tree.Complete(c.rt.P, charger{c.rt})
 		runs := c.tree.FinalRuns(c.rt.P)
+		var total int
+		for _, r := range runs {
+			total += len(r)
+		}
 		var err error
-		final, err = kvenc.MergeStreamChecked(runs)
+		final, err = kvenc.MergeStreamTo(bytestore.Get(total), runs)
 		if err != nil {
 			panic(fmt.Errorf("sortmerge: corrupt spill run in %s: %w", c.cfg.Prefix, err))
+		}
+		for _, r := range runs {
+			bytestore.Put(r)
 		}
 		c.rt.ChargeOps(c.rt.Model.CPUMergeRecord, int64(kvenc.Count(final)))
 	}
@@ -179,6 +198,7 @@ func (c *MapCollector) Finish() (parts [][][]byte, mapped, emitted int64) {
 	if err := it.Err(); err != nil {
 		panic(fmt.Errorf("sortmerge: corrupt final run in %s: %w", c.cfg.Prefix, err))
 	}
+	bytestore.Put(final) // per-partition segments copied out above
 	for p, s := range segs {
 		if len(s) > 0 {
 			parts[p] = [][]byte{s}
@@ -218,6 +238,7 @@ type Reducer struct {
 
 	prepared  bool
 	finalRuns [][]byte
+	treeRuns  int // leading finalRuns entries that are recycled buffers
 
 	received int64
 }
@@ -261,7 +282,7 @@ func (r *Reducer) spillBuffer() {
 	if len(r.bufRuns) == 0 {
 		return
 	}
-	var run []byte
+	run := bytestore.Get(int(r.bufBytes))
 	var records int64
 	if r.comb != nil {
 		// Merge + combine in one pass; combined records count as
@@ -280,15 +301,18 @@ func (r *Reducer) spillBuffer() {
 		r.rt.ChargeOps(r.rt.Model.CPUCombine, records)
 	} else {
 		var err error
-		run, err = kvenc.MergeStreamChecked(r.bufRuns)
+		run, err = kvenc.MergeStreamTo(run, r.bufRuns)
 		if err != nil {
 			panic(fmt.Errorf("sortmerge: corrupt shuffled run in %s: %w", r.cfg.Prefix, err))
 		}
 		records = int64(kvenc.Count(run))
 	}
 	r.rt.ChargeOps(r.rt.Model.CPUMergeRecord, records)
-	r.tree.AddRun(r.rt.P, run)
-	r.bufRuns = nil
+	r.tree.AddRun(r.rt.P, run) // AddRun writes (copies) the run to disk
+	bytestore.Put(run)
+	// The buffered runs are shuffle segments shared with the engine's
+	// map-output table — drop the references, never recycle them.
+	r.bufRuns = r.bufRuns[:0]
 	r.bufBytes = 0
 }
 
@@ -313,6 +337,7 @@ func (r *Reducer) PrepareFinal() {
 	r.prepared = true
 	r.tree.Complete(r.rt.P, charger{r.rt})
 	r.finalRuns = r.tree.FinalRuns(r.rt.P)
+	r.treeRuns = len(r.finalRuns) // recyclable; the rest are shared shuffle segments
 	r.finalRuns = append(r.finalRuns, r.bufRuns...)
 	r.bufRuns = nil
 }
@@ -337,6 +362,12 @@ func (r *Reducer) Finish(out mr.OutputWriter) {
 	}
 	batch.Flush()
 	r.rt.FnRecords(records)
+	// Only the tree's own runs are recycled buffers; the trailing
+	// entries alias shuffle segments owned by the engine.
+	for _, run := range runs[:r.treeRuns] {
+		bytestore.Put(run)
+	}
+	r.treeRuns = 0
 }
 
 // Snapshot merges everything received so far — re-reading the on-disk

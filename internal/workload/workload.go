@@ -87,7 +87,7 @@ func NewClickStream(spec ClickSpec) *ClickStream {
 		panic("workload: need positive pools")
 	}
 	c := &ClickStream{spec: spec}
-	c.recBytes = len(c.formatRecord(0, 0, 0, 200, 1234))
+	c.recBytes = len(c.appendRecord(nil, 0, 0, 0, 200, 1234))
 	c.recsChunk = int(spec.ChunkPhys) / c.recBytes
 	if c.recsChunk < 1 {
 		c.recsChunk = 1
@@ -115,9 +115,42 @@ func (c *ClickStream) TotalRecords() int64 { return c.totalRecs }
 // Users returns the user pool size.
 func (c *ClickStream) Users() int { return c.spec.Users }
 
-func (c *ClickStream) formatRecord(tsMillis int64, user, url, status, size int) string {
-	return fmt.Sprintf("%013d\tu%07d\t/p%06d.html\t%03d\t%04d\t%s\n",
-		tsMillis, user, url, status, size, clickPad)
+// appendPadInt appends v (non-negative) in decimal, zero-padded to at
+// least width digits — the append-path equivalent of Sprintf "%0*d",
+// which dominated chunk-generation CPU profiles.
+func appendPadInt(dst []byte, v int64, width int) []byte {
+	var tmp [20]byte
+	i := len(tmp)
+	if v == 0 {
+		i--
+		tmp[i] = '0'
+	}
+	for x := v; x > 0; x /= 10 {
+		i--
+		tmp[i] = byte('0' + x%10)
+	}
+	for len(tmp)-i < width {
+		i--
+		tmp[i] = '0'
+	}
+	return append(dst, tmp[i:]...)
+}
+
+// appendRecord appends one click record, bytewise identical to
+// Sprintf("%013d\tu%07d\t/p%06d.html\t%03d\t%04d\t%s\n", ...).
+func (c *ClickStream) appendRecord(dst []byte, tsMillis int64, user, url, status, size int) []byte {
+	dst = appendPadInt(dst, tsMillis, 13)
+	dst = append(dst, '\t', 'u')
+	dst = appendPadInt(dst, int64(user), 7)
+	dst = append(dst, "\t/p"...)
+	dst = appendPadInt(dst, int64(url), 6)
+	dst = append(dst, ".html\t"...)
+	dst = appendPadInt(dst, int64(status), 3)
+	dst = append(dst, '\t')
+	dst = appendPadInt(dst, int64(size), 4)
+	dst = append(dst, '\t')
+	dst = append(dst, clickPad...)
+	return append(dst, '\n')
 }
 
 // ChunkBytes implements dfs.Input.
@@ -156,7 +189,7 @@ func (c *ClickStream) ChunkBytes(i int) []byte {
 		if rng.Intn(50) == 0 {
 			status = 404
 		}
-		out = append(out, c.formatRecord(ts, user, url, status, 100+rng.Intn(9900))...)
+		out = c.appendRecord(out, ts, user, url, status, 100+rng.Intn(9900))
 	}
 	return out
 }
@@ -251,7 +284,9 @@ func (d *DocCorpus) ChunkBytes(i int) []byte {
 			if w == d.spec.DocWords-1 {
 				sep = '\n'
 			}
-			out = append(out, fmt.Sprintf("w%06d%c", wz.Uint64(), sep)...)
+			out = append(out, 'w')
+			out = appendPadInt(out, int64(wz.Uint64()), 6)
+			out = append(out, sep)
 		}
 	}
 	return out
