@@ -60,7 +60,10 @@ func benchKVStream(n int) []byte {
 	return data
 }
 
-func runBenchJSON(path string) error {
+// loadBaseline reads the previous report's ns/op by benchmark name. A
+// missing or unparseable file yields an empty baseline (first run, or a
+// corrupt file that should not block a fresh measurement).
+func loadBaseline(path string) map[string]float64 {
 	prev := map[string]float64{}
 	if old, err := os.ReadFile(path); err == nil {
 		var r benchReport
@@ -70,6 +73,32 @@ func runBenchJSON(path string) error {
 			}
 		}
 	}
+	return prev
+}
+
+// withBaseline fills an entry's PrevNsPerOp/DeltaPct from the baseline
+// map, leaving both zero when the benchmark is new.
+func withBaseline(e benchEntry, prev map[string]float64) benchEntry {
+	if p, ok := prev[e.Name]; ok && p > 0 {
+		e.PrevNsPerOp = p
+		e.DeltaPct = 100 * (e.NsPerOp - p) / p
+	}
+	return e
+}
+
+// writeBenchReport marshals the report as indented JSON (with trailing
+// newline) and writes it to path.
+func writeBenchReport(path string, rep *benchReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}
+
+func runBenchJSON(path string) error {
+	prev := loadBaseline(path)
 
 	type spec struct {
 		name  string
@@ -181,10 +210,7 @@ func runBenchJSON(path string) error {
 		if s.bytes > 0 && r.T > 0 {
 			e.MBPerSec = float64(s.bytes) * float64(r.N) / r.T.Seconds() / 1e6
 		}
-		if p, ok := prev[e.Name]; ok && p > 0 {
-			e.PrevNsPerOp = p
-			e.DeltaPct = 100 * (e.NsPerOp - p) / p
-		}
+		e = withBaseline(e, prev)
 		rep.Benchmarks = append(rep.Benchmarks, e)
 		fmt.Fprintf(os.Stderr, "%12.0f ns/op  %6d allocs/op", e.NsPerOp, e.AllocsPerOp)
 		if e.PrevNsPerOp > 0 {
@@ -193,12 +219,7 @@ func runBenchJSON(path string) error {
 		fmt.Fprintln(os.Stderr)
 	}
 
-	data, err := json.MarshalIndent(&rep, "", "  ")
-	if err != nil {
-		return err
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	if err := writeBenchReport(path, &rep); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s (%d benchmarks)\n", path, len(rep.Benchmarks))

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadBaseline(t *testing.T) {
+	dir := t.TempDir()
+
+	if got := loadBaseline(filepath.Join(dir, "missing.json")); len(got) != 0 {
+		t.Errorf("missing file: want empty baseline, got %v", got)
+	}
+
+	corrupt := filepath.Join(dir, "corrupt.json")
+	if err := os.WriteFile(corrupt, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := loadBaseline(corrupt); len(got) != 0 {
+		t.Errorf("corrupt file: want empty baseline, got %v", got)
+	}
+
+	valid := filepath.Join(dir, "valid.json")
+	rep := &benchReport{Benchmarks: []benchEntry{
+		{Name: "a", NsPerOp: 100},
+		{Name: "b", NsPerOp: 2.5},
+	}}
+	if err := writeBenchReport(valid, rep); err != nil {
+		t.Fatal(err)
+	}
+	got := loadBaseline(valid)
+	if got["a"] != 100 || got["b"] != 2.5 || len(got) != 2 {
+		t.Errorf("round trip: got %v", got)
+	}
+}
+
+func TestWithBaseline(t *testing.T) {
+	prev := map[string]float64{"kernel": 200, "zeroed": 0}
+
+	e := withBaseline(benchEntry{Name: "kernel", NsPerOp: 150}, prev)
+	if e.PrevNsPerOp != 200 {
+		t.Errorf("PrevNsPerOp = %v, want 200", e.PrevNsPerOp)
+	}
+	if math.Abs(e.DeltaPct-(-25)) > 1e-9 {
+		t.Errorf("DeltaPct = %v, want -25", e.DeltaPct)
+	}
+
+	e = withBaseline(benchEntry{Name: "new", NsPerOp: 150}, prev)
+	if e.PrevNsPerOp != 0 || e.DeltaPct != 0 {
+		t.Errorf("new benchmark must carry no delta: %+v", e)
+	}
+
+	// A zero previous value would divide by zero; it must be ignored.
+	e = withBaseline(benchEntry{Name: "zeroed", NsPerOp: 150}, prev)
+	if e.PrevNsPerOp != 0 || e.DeltaPct != 0 {
+		t.Errorf("zero baseline must be ignored: %+v", e)
+	}
+}
+
+func TestWriteBenchReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	rep := &benchReport{
+		GeneratedBy: "test",
+		GoVersion:   "go0.0",
+		GOMAXPROCS:  4,
+		Benchmarks:  []benchEntry{{Name: "x", NsPerOp: 1, MBPerSec: 2, AllocsPerOp: 3, BytesPerOp: 4}},
+	}
+	if err := writeBenchReport(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 || data[len(data)-1] != '\n' {
+		t.Error("report must end with a newline")
+	}
+	var back benchReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if back.GeneratedBy != "test" || len(back.Benchmarks) != 1 || back.Benchmarks[0].Name != "x" {
+		t.Errorf("round trip mismatch: %+v", back)
+	}
+
+	if err := writeBenchReport(filepath.Join(path, "under-a-file.json"), rep); err == nil {
+		t.Error("writing under a regular file must fail")
+	}
+}

@@ -1,0 +1,115 @@
+// Command simfuzz drives the randomized differential conformance
+// harness (internal/simfuzz) from the command line: sweep a seed
+// range, replay a single seed or a corpus entry, and shrink failures
+// to minimal repros.
+//
+//	go run ./cmd/simfuzz -cases 5000 -seed 1
+//	go run ./cmd/simfuzz -replay-seed 4242
+//	go run ./cmd/simfuzz -replay internal/simfuzz/testdata/corpus/x.json
+//	ONEPASS_MUTATION=spill-drop-run go run ./cmd/simfuzz -cases 50
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/prof"
+	"repro/internal/simfuzz"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		cases      = flag.Int("cases", 500, "number of random cases to sweep")
+		seed       = flag.Int64("seed", 1, "first seed of the sweep (seeds are seed..seed+cases-1)")
+		budget     = flag.Int("shrink-budget", 80, "max RunCase executions per shrink")
+		stopAfter  = flag.Int("stop-after", 3, "stop the sweep after this many failing seeds")
+		replaySeed = flag.Int64("replay-seed", 0, "replay a single generated seed instead of sweeping")
+		replay     = flag.String("replay", "", "replay a corpus entry (path to a JSON file)")
+		verbose    = flag.Bool("v", false, "print every case as it runs")
+		printSeed  = flag.Int64("print-seed", 0, "print the generated case for a seed and exit")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	)
+	flag.Parse()
+
+	if *cpuProfile != "" {
+		stop, err := prof.Start(*cpuProfile, "")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		defer stop()
+	}
+
+	if *printSeed != 0 {
+		blob, _ := json.MarshalIndent(simfuzz.Gen(*printSeed), "", "  ")
+		fmt.Println(string(blob))
+		return 0
+	}
+
+	switch {
+	case *replay != "":
+		return replayFile(*replay, *budget)
+	case *replaySeed != 0:
+		return runSeeds(*replaySeed, 1, *budget, 1, true)
+	default:
+		return runSeeds(*seed, *cases, *budget, *stopAfter, *verbose)
+	}
+}
+
+func runSeeds(first int64, n, budget, stopAfter int, verbose bool) int {
+	failed := 0
+	for i := 0; i < n; i++ {
+		s := first + int64(i)
+		c := simfuzz.Gen(s)
+		v := simfuzz.RunCase(c)
+		if verbose {
+			blob, _ := json.Marshal(c)
+			fmt.Printf("seed %d: %s — %s\n", s, blob, v.String())
+		} else if i > 0 && i%50 == 0 {
+			fmt.Printf("%d/%d cases, %d failing\n", i, n, failed)
+		}
+		if v.OK() {
+			continue
+		}
+		failed++
+		fmt.Printf("seed %d FAILED:\n%s\nshrinking (budget %d)...\n", s, v.String(), budget)
+		shrunk, sv := simfuzz.Shrink(c, budget)
+		fmt.Println(simfuzz.RenderRepro(shrunk, sv, os.Getenv("ONEPASS_MUTATION")))
+		if failed >= stopAfter {
+			fmt.Printf("stopping after %d failing seeds\n", failed)
+			break
+		}
+	}
+	fmt.Printf("swept %d cases starting at seed %d: %d failing\n", n, first, failed)
+	if failed > 0 {
+		return 1
+	}
+	return 0
+}
+
+func replayFile(path string, budget int) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	var e simfuzz.CorpusEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if e.Mutation != "" {
+		os.Setenv(simfuzz.MutationEnv, e.Mutation)
+	}
+	v := simfuzz.RunCase(e.Case)
+	fmt.Printf("%s: %s\n", e.Name, v.String())
+	if v.OK() == e.ExpectFailure {
+		fmt.Printf("verdict does not match expect_failure=%v\n", e.ExpectFailure)
+		return 1
+	}
+	return 0
+}

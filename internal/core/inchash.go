@@ -169,6 +169,30 @@ func (r *INCHashReducer) Finish() {
 	}
 }
 
+// heldOutput buffers early emissions during a bucket-table build that
+// may still be abandoned (table overflow → repartition and re-run):
+// the re-run replays the same tuples through TryEmit, so emissions
+// from an abandoned build would come out twice. They become durable
+// only when the build commits. Key and value are copied because
+// queries reuse their emit scratch buffers across calls.
+type heldOutput struct {
+	kvs [][2][]byte
+}
+
+// Emit implements mr.OutputWriter.
+func (h *heldOutput) Emit(key, value []byte) {
+	h.kvs = append(h.kvs, [2][]byte{
+		append([]byte(nil), key...),
+		append([]byte(nil), value...),
+	})
+}
+
+func (h *heldOutput) replay(out mr.OutputWriter) {
+	for _, kv := range h.kvs {
+		out.Emit(kv[0], kv[1])
+	}
+}
+
 // processBucket builds an in-memory state table for one bucket's
 // tuples and finalizes it; oversized buckets are recursively
 // repartitioned with the next hash function. A bucket dominated by a
@@ -187,6 +211,11 @@ func (r *INCHashReducer) processBucketBudget(data []byte, level int, budget int6
 	t := bytestore.NewTable(r.rt.Fam.Fn(3), budget)
 	fits := true
 	var recs int64
+	// Early emits during the build are held until the build commits —
+	// an abandoned build's tuples are replayed and would re-emit.
+	hold := &heldOutput{}
+	realOut := r.out
+	r.out = hold
 	bytestore.RangePairs(data, func(key, state []byte) bool {
 		cur, found, ok := t.UpsertState(key, len(state), r.inc.StateSize())
 		if !ok {
@@ -211,7 +240,9 @@ func (r *INCHashReducer) processBucketBudget(data []byte, level int, budget int6
 		}
 		return true
 	})
+	r.out = realOut
 	if fits {
+		hold.replay(r.out)
 		r.rt.FnRecords(recs)
 		r.rt.ChargeOps(r.rt.Model.CPUCombine, recs)
 		batch := r.rt.Batch(r.rt.Model.CPUReduceRec)

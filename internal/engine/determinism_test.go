@@ -61,24 +61,8 @@ func TestParallelismDoesNotChangeReports(t *testing.T) {
 		for _, w := range []int{3, 4, 8} {
 			par := run(pl, w)
 			if !reflect.DeepEqual(serial1, par) {
-				diff := describeReportDiff(serial1, par)
-				t.Fatalf("%v: Workers=%d report differs from serial run: %s", pl, w, diff)
+				t.Fatalf("%v: Workers=%d report differs from serial run: %s", pl, w, ReportDiff(serial1, par))
 			}
 		}
 	}
-}
-
-// describeReportDiff names the first differing field, so a determinism
-// failure points at the leaking subsystem instead of dumping two
-// multi-KB structs.
-func describeReportDiff(a, b *Report) string {
-	av := reflect.ValueOf(*a)
-	bv := reflect.ValueOf(*b)
-	tp := av.Type()
-	for i := 0; i < tp.NumField(); i++ {
-		if !reflect.DeepEqual(av.Field(i).Interface(), bv.Field(i).Interface()) {
-			return tp.Field(i).Name
-		}
-	}
-	return "unknown field"
 }

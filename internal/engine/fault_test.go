@@ -171,7 +171,7 @@ func TestFaultDeterminismAcrossWorkers(t *testing.T) {
 	for _, w := range []int{3, 8} {
 		if par := run(w); !reflect.DeepEqual(serial, par) {
 			t.Fatalf("Workers=%d fault-injected report differs from serial run: %s",
-				w, describeReportDiff(serial, par))
+				w, ReportDiff(serial, par))
 		}
 	}
 }

@@ -106,7 +106,7 @@ func TestIntegrityDeterminismAcrossWorkers(t *testing.T) {
 				base = rep
 			} else if !reflect.DeepEqual(base, rep) {
 				t.Errorf("%v: faulted report differs with %d workers (field %s)",
-					pl, workers, describeReportDiff(base, rep))
+					pl, workers, ReportDiff(base, rep))
 			}
 		}
 	}
@@ -295,7 +295,7 @@ func TestQuarantineCountDeterministic(t *testing.T) {
 			base = rep
 		} else if !reflect.DeepEqual(base, rep) {
 			t.Errorf("quarantined report differs with %d workers (field %s)",
-				workers, describeReportDiff(base, rep))
+				workers, ReportDiff(base, rep))
 		}
 	}
 }

@@ -19,9 +19,12 @@ import (
 // batches bytes, and charges ReduceOutput disk writes on the task's
 // node (the DFS write-back). In runs where a reduce attempt can fail
 // after emitting (node kills, injected reduce failures) it runs in
-// provisional mode: output is buffered and only folded into the job at
-// commit points (checkpoints and attempt completion), so a failed
-// attempt's tail is discarded and replay stays exactly-once.
+// provisional mode: output is buffered, staged alongside each
+// checkpoint image, and folded into the job only when an attempt
+// completes. Staging ties output visibility to the checkpoint chain
+// the task finally restores from — a restore to an older image (the
+// newest was corrupt or torn) drops everything staged after it, so
+// the replayed suffix emits exactly once.
 type outputWriter struct {
 	j       *job
 	p       *sim.Proc
@@ -29,9 +32,14 @@ type outputWriter struct {
 	pending int64
 	flushAt int64
 
+	// Provisional mode: output accumulates here (cumulatively over the
+	// attempt, including a restored checkpoint's prefix) and folds into
+	// the job only when the attempt completes. staged tracks how much of
+	// ubytes already went to the write-behind queue at checkpoints.
 	provisional bool
 	urecords    int64
 	ubytes      int64
+	staged      int64
 	urows       [][2]string
 }
 
@@ -65,10 +73,11 @@ func (w *outputWriter) flush() {
 	}
 }
 
-// commit makes provisionally buffered output durable: counters fold
-// into the job and the bytes go to the write-behind queue. Safe at a
-// checkpoint because the checkpointed state carries the emitted-flags
-// that suppress re-emission when the suffix is replayed.
+// commit makes the attempt's provisional output durable: the
+// cumulative counters fold into the job and any bytes not yet staged
+// go to the write-behind queue. Called exactly once, when the attempt
+// completes — output staged at intermediate checkpoints only becomes
+// visible through a completing attempt's checkpoint chain.
 func (w *outputWriter) commit() {
 	if !w.provisional {
 		return
@@ -76,13 +85,37 @@ func (w *outputWriter) commit() {
 	w.j.outRecords += w.urecords
 	w.j.outBytes += w.ubytes
 	w.j.outputs = append(w.j.outputs, w.urows...)
-	w.n.enqueueOutput(w.ubytes)
-	w.urecords, w.ubytes, w.urows = 0, 0, nil
+	w.n.enqueueOutput(w.ubytes - w.staged)
+	w.urecords, w.ubytes, w.staged, w.urows = 0, 0, 0, nil
 }
 
-// discard drops output emitted since the last commit (failed attempt).
+// stageInto records the attempt's cumulative output in a checkpoint
+// image and pushes the newly staged bytes to the write-behind queue.
+// The rows are snapshotted by clipping capacity, so later Emits
+// reallocate instead of overwriting the image's view.
+func (w *outputWriter) stageInto(ck *ckptImage) {
+	if !w.provisional {
+		return
+	}
+	w.n.enqueueOutput(w.ubytes - w.staged)
+	w.staged = w.ubytes
+	w.urows = w.urows[:len(w.urows):len(w.urows)]
+	ck.outRecords, ck.outBytes, ck.outRows = w.urecords, w.ubytes, w.urows
+}
+
+// restoreFrom reloads the output staged up to the checkpoint the
+// attempt restarts from. Output staged after that image (by a failed
+// attempt, or recorded in a damaged image the resolver discarded) is
+// dropped — the replayed suffix emits it again.
+func (w *outputWriter) restoreFrom(ck *ckptImage) {
+	w.urecords, w.ubytes, w.staged = ck.outRecords, ck.outBytes, ck.outBytes
+	w.urows = ck.outRows[:len(ck.outRows):len(ck.outRows)]
+}
+
+// discard drops the failed attempt's provisional output; the next
+// attempt reloads the restore point's staged prefix via restoreFrom.
 func (w *outputWriter) discard() {
-	w.urecords, w.ubytes, w.urows = 0, 0, nil
+	w.urecords, w.ubytes, w.staged, w.urows = 0, 0, 0, nil
 }
 
 // sync flushes and waits for the node's write-behind queue to drain —
@@ -102,6 +135,14 @@ const (
 // consumedBitBytes is the serialized size of one map-task entry in a
 // checkpoint's consumed-set image.
 const consumedBitBytes = 1
+
+// maxReduceAttempts bounds one reduce task's restart ladder. Injected
+// failures are capped per task and node deaths per run, so the only way
+// to approach this is sustained spill corruption making every attempt
+// fail on its own scratch data — an unwinnable plan (real frameworks
+// fail the job after a handful of attempts). Failing loudly beats
+// retrying forever.
+const maxReduceAttempts = 40
 
 // reduceResult is the outcome of one reduce attempt.
 type reduceResult int
@@ -129,6 +170,10 @@ func (j *job) runReduceTask(p *sim.Proc, ridx int, n *node) {
 	for {
 		attempt := rs.attempts
 		rs.attempts++
+		if attempt >= maxReduceAttempts {
+			panic(fmt.Sprintf("engine: reduce task %d failed %d attempts (unrecoverable fault plan?)",
+				ridx, attempt))
+		}
 		if attempt > 0 {
 			j.restartedReduces++
 		}
@@ -281,6 +326,9 @@ func (j *job) runReduceAttempt(p *sim.Proc, rs *reduceState, attempt int, inject
 			} else {
 				dinch.Restore(img)
 			}
+			// The restored state pairs with the output staged up to the
+			// same image; anything staged later replays.
+			out.restoreFrom(ck)
 		}
 		setPhase(-1)
 	}
@@ -493,8 +541,8 @@ func (j *job) runReduceAttempt(p *sim.Proc, rs *reduceState, attempt int, inject
 // table or FREQUENT summary, plus bucket contents) together with the
 // consumed-set, serializes it into a CRC32C-framed image, charges the
 // checkpoint write (full state + consumed-set plus only the bucket
-// bytes appended since the previous checkpoint), and commits
-// provisional output emitted so far. The previous image is kept as a
+// bytes appended since the previous checkpoint), and stages the
+// attempt's output so far with the image. The previous image is kept as a
 // fallback; under fault injection the freshly written frame may be
 // bit-flipped here — detected by restore, exactly like bit rot on the
 // replicated copy.
@@ -547,7 +595,7 @@ func (j *job) takeCheckpoint(p *sim.Proc, rs *reduceState, n *node, inch *core.I
 	}
 	rs.ckpt = ck
 	j.checkpoints++
-	out.commit()
+	out.stageInto(ck)
 }
 
 // resolveCheckpoint walks a reduce task's checkpoint chain newest

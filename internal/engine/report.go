@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"reflect"
 	"time"
 
 	"repro/internal/metrics"
@@ -181,4 +182,21 @@ func (r *Report) String() string {
 // GB formats a logical byte count as gigabytes.
 func GB(b int64) string {
 	return fmt.Sprintf("%.1fGB", float64(b)/1e9)
+}
+
+// ReportDiff names the first field in which two reports differ, or ""
+// when they are identical — so a determinism failure points at the
+// leaking subsystem instead of dumping two multi-KB structs. Used by
+// the in-package determinism tests and the simfuzz conformance
+// harness.
+func ReportDiff(a, b *Report) string {
+	av := reflect.ValueOf(*a)
+	bv := reflect.ValueOf(*b)
+	tp := av.Type()
+	for i := 0; i < tp.NumField(); i++ {
+		if !reflect.DeepEqual(av.Field(i).Interface(), bv.Field(i).Interface()) {
+			return tp.Field(i).Name
+		}
+	}
+	return ""
 }

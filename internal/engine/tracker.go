@@ -41,6 +41,16 @@ type ckptImage struct {
 	bucketLens []int64 // cumulative per-bucket bytes (delta vs. previous image)
 	bucketSum  int64   // Σ bucketLens (all read back on restore)
 	prev       *ckptImage
+
+	// Output staged by the attempt up to this checkpoint (cumulative
+	// since the task started). Staged output becomes externally visible
+	// only through the checkpoint chain the task finally restores from
+	// and completes on — like a transactional sink, a restore to an
+	// older image discards everything staged after it, because the
+	// replayed suffix will emit it again.
+	outRecords int64
+	outBytes   int64
+	outRows    [][2]string
 }
 
 // reduceState is the tracker's view of one reduce task.

@@ -9,7 +9,9 @@ package reference
 
 import (
 	"bytes"
+	"fmt"
 	"sort"
+	"strconv"
 
 	"repro/internal/dfs"
 	"repro/internal/mr"
@@ -37,12 +39,9 @@ type Output struct {
 	Value string
 }
 
-// Run evaluates the query over the whole input sequentially and
-// returns all outputs sorted by (key, value). Value arrival order per
-// key is input order, matching the engine's stable merging.
-func Run(q mr.Query, input dfs.Input) []Output {
-	groups := map[string][][]byte{}
-	var order []string
+// eachRecord applies fn to every non-empty record line of the input,
+// chunk by chunk in order.
+func eachRecord(input dfs.Input, fn func(line []byte)) {
 	for c := 0; c < input.NumChunks(); c++ {
 		data := input.ChunkBytes(c)
 		for len(data) > 0 {
@@ -55,15 +54,26 @@ func Run(q mr.Query, input dfs.Input) []Output {
 			if len(line) == 0 {
 				continue
 			}
-			q.Map(line, func(k, v []byte) {
-				key := string(k)
-				if _, seen := groups[key]; !seen {
-					order = append(order, key)
-				}
-				groups[key] = append(groups[key], append([]byte(nil), v...))
-			})
+			fn(line)
 		}
 	}
+}
+
+// Run evaluates the query over the whole input sequentially and
+// returns all outputs sorted by (key, value). Value arrival order per
+// key is input order, matching the engine's stable merging.
+func Run(q mr.Query, input dfs.Input) []Output {
+	groups := map[string][][]byte{}
+	var order []string
+	eachRecord(input, func(line []byte) {
+		q.Map(line, func(k, v []byte) {
+			key := string(k)
+			if _, seen := groups[key]; !seen {
+				order = append(order, key)
+			}
+			groups[key] = append(groups[key], append([]byte(nil), v...))
+		})
+	})
 	var out []Output
 	sink := collect{&out}
 	for _, key := range order {
@@ -83,6 +93,42 @@ type collect struct{ out *[]Output }
 // Emit implements mr.OutputWriter.
 func (c collect) Emit(k, v []byte) {
 	*c.out = append(*c.out, Output{Key: string(k), Value: string(v)})
+}
+
+// RunWithWatermarks evaluates the query like Run, but for queries
+// implementing mr.Watermarker it first advances the watermark over
+// every record — the state any platform has reached by the time its
+// final reduce wave runs — so reduce-side logic that consults the
+// watermark (e.g. sessionization's emit horizon) sees end-of-input
+// conditions instead of a zero watermark. It returns the outputs and
+// the final watermark (0 when the query has none).
+func RunWithWatermarks(q mr.Query, input dfs.Input) ([]Output, int64) {
+	var wm int64
+	if w, ok := q.(mr.Watermarker); ok {
+		eachRecord(input, func(line []byte) {
+			if ts := w.RecordTime(line); ts > wm {
+				wm = ts
+			}
+		})
+		w.AdvanceWatermark(wm)
+	}
+	return Run(q, input), wm
+}
+
+// Sums aggregates integer output values per key — the canonical
+// comparison for queries with update semantics (windowed counts emit
+// supplements for late records): per-key sums are exact on every
+// platform even when emit boundaries differ.
+func Sums(outs []Output) (map[string]int64, error) {
+	sums := make(map[string]int64, len(outs))
+	for _, o := range outs {
+		n, err := strconv.ParseInt(o.Value, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("reference: non-integer value %q for key %q", o.Value, o.Key)
+		}
+		sums[o.Key] += n
+	}
+	return sums, nil
 }
 
 // Keys returns the distinct output keys, sorted.

@@ -1,0 +1,372 @@
+package simfuzz
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/dfs"
+	"repro/internal/engine"
+	"repro/internal/reference"
+)
+
+// Failure is one violated conformance property.
+type Failure struct {
+	Platform string `json:"platform"` // "name/clean", "name/faulted", or "name/workers"
+	Check    string `json:"check"`    // property family: oracle, accounting, workers, run
+	Detail   string `json:"detail"`
+}
+
+// Verdict is the outcome of running one case.
+type Verdict struct {
+	Failures []Failure `json:"failures,omitempty"`
+}
+
+// OK reports whether every check passed.
+func (v *Verdict) OK() bool { return len(v.Failures) == 0 }
+
+// String lists the failures, one per line.
+func (v *Verdict) String() string {
+	if v.OK() {
+		return "ok"
+	}
+	var b strings.Builder
+	for _, f := range v.Failures {
+		fmt.Fprintf(&b, "[%s] %s: %s\n", f.Platform, f.Check, f.Detail)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+func (v *Verdict) addf(platform, check, format string, args ...any) {
+	v.Failures = append(v.Failures, Failure{
+		Platform: platform, Check: check, Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// RunCase executes one case on every platform it names and returns the
+// verdict. Per platform: a clean run checked against the oracle and
+// the accounting identities; if the case carries a fault schedule, a
+// faulted run (kill/checkpoint times anchored on the clean run's
+// MapFinishTime) checked the same way; and, on one seed-picked
+// platform, a rerun with a different worker-pool size whose Report
+// must be DeepEqual to the base run's.
+func RunCase(c Case) Verdict {
+	c = c.Clone()
+	c.Normalize()
+	var v Verdict
+	input := c.Input()
+	oracle, err := oracleAnswer(&c, input)
+	if err != nil {
+		v.addf("oracle", "run", "%v", err)
+		return v
+	}
+	for _, name := range c.Platforms {
+		runPlatform(&v, &c, platformNames[name], input, oracle)
+	}
+	return v
+}
+
+// safeRun runs the spec, converting panics into errors so one broken
+// case cannot abort a sweep.
+func safeRun(spec engine.JobSpec) (rep *engine.Report, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return engine.Run(spec)
+}
+
+func runPlatform(v *Verdict, c *Case, pl engine.Platform, input dfs.Input, oracle []string) {
+	name := pl.String()
+	clean, err := safeRun(c.jobSpec(pl, input, 1, false, 0))
+	if err != nil {
+		v.addf(name+"/clean", "run", "%v", err)
+		return
+	}
+	checkAnswers(v, c, name+"/clean", clean, oracle)
+	checkReport(v, c, name+"/clean", clean, false)
+
+	base, kind := clean, "clean"
+	if c.faulted() {
+		faulted, err := safeRun(c.jobSpec(pl, input, 1, true, clean.MapFinishTime))
+		if err != nil {
+			v.addf(name+"/faulted", "run", "%v", err)
+			return
+		}
+		checkAnswers(v, c, name+"/faulted", faulted, oracle)
+		checkReport(v, c, name+"/faulted", faulted, true)
+		base, kind = faulted, "faulted"
+	}
+
+	// The cross-worker determinism check is the costliest (a full
+	// rerun), so it runs on one seed-picked platform per case.
+	if c.Workers2 > 1 && name == c.workerCheckPlatform() {
+		spec := c.jobSpec(pl, input, c.Workers2, c.faulted(), clean.MapFinishTime)
+		rep, err := safeRun(spec)
+		if err != nil {
+			v.addf(name+"/workers", "run", "workers=%d: %v", c.Workers2, err)
+			return
+		}
+		a, b := *base, *rep
+		a.Workers, a.WallTime = 0, 0
+		b.Workers, b.WallTime = 0, 0
+		if diff := engine.ReportDiff(&a, &b); diff != "" {
+			v.addf(name+"/workers", "workers",
+				"%s report with Workers=%d differs from serial run in field %s", kind, c.Workers2, diff)
+		}
+	}
+}
+
+// workerCheckPlatform picks which platform gets the cross-worker rerun
+// — seed-derived so sweeps spread the cost across all five.
+func (c *Case) workerCheckPlatform() string {
+	if len(c.Platforms) == 0 {
+		return ""
+	}
+	return c.Platforms[modInt(int(c.Seed>>8), len(c.Platforms))]
+}
+
+// oracleAnswer evaluates the reference oracle and canonicalizes its
+// outputs for the case's query.
+func oracleAnswer(c *Case, input dfs.Input) ([]string, error) {
+	outs, _ := reference.RunWithWatermarks(c.newQuery(true), input)
+	pairs := make([][2]string, len(outs))
+	for i, o := range outs {
+		pairs[i] = [2]string{o.Key, o.Value}
+	}
+	return canonOutputs(c, pairs)
+}
+
+// canonOutputs maps raw output records to the canonical comparison
+// form for the case's query:
+//
+//   - exact key/value lines for one-shot aggregates (clickcount,
+//     pagefreq);
+//   - distinct keys for threshold queries (frequsers, trigram): early
+//     emission fires when the threshold is crossed, so emitted counts
+//     legitimately differ from the final totals, and a key whose
+//     emitted state was spilled can be re-emitted by a later state
+//     incarnation;
+//   - per-key sums for windowcount: late records produce supplementary
+//     emissions under allowed-lateness update semantics;
+//   - session-id-stripped click lines for sessionization: bounded-
+//     buffer streaming renumbers sessions, the clicks themselves and
+//     their per-user grouping must match exactly.
+func canonOutputs(c *Case, outs [][2]string) ([]string, error) {
+	var lines []string
+	switch c.Query {
+	case "frequsers", "trigram":
+		// Distinct keys: a key is re-emitted when an emitted state was
+		// spilled and a later occurrence independently re-crossed the
+		// threshold, so only the key set is platform-invariant.
+		seen := map[string]bool{}
+		for _, kv := range outs {
+			if !seen[kv[0]] {
+				seen[kv[0]] = true
+				lines = append(lines, kv[0])
+			}
+		}
+	case "windowcount":
+		sums := map[string]int64{}
+		var order []string
+		for _, kv := range outs {
+			n, err := strconv.ParseInt(kv[1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("non-integer windowcount value %q for key %q", kv[1], kv[0])
+			}
+			if _, ok := sums[kv[0]]; !ok {
+				order = append(order, kv[0])
+			}
+			sums[kv[0]] += n
+		}
+		for _, k := range order {
+			lines = append(lines, k+"\x00"+strconv.FormatInt(sums[k], 10))
+		}
+	case "sessionization":
+		for _, kv := range outs {
+			_, rec, _ := strings.Cut(kv[1], "\t")
+			lines = append(lines, kv[0]+"\x00"+rec)
+		}
+	default:
+		for _, kv := range outs {
+			lines = append(lines, kv[0]+"\x00"+kv[1])
+		}
+	}
+	sort.Strings(lines)
+	return lines, nil
+}
+
+// checkAnswers compares a run's canonicalized outputs to the oracle's.
+func checkAnswers(v *Verdict, c *Case, label string, rep *engine.Report, oracle []string) {
+	got, err := canonOutputs(c, rep.Outputs)
+	if err != nil {
+		v.addf(label, "oracle", "%v", err)
+		return
+	}
+	if len(got) != len(oracle) {
+		v.addf(label, "oracle", "platform emitted %d canonical outputs, oracle has %d%s",
+			len(got), len(oracle), firstDiff(got, oracle))
+		return
+	}
+	for i := range got {
+		if got[i] != oracle[i] {
+			v.addf(label, "oracle", "outputs diverge at %d/%d: got %q, oracle %q",
+				i, len(got), got[i], oracle[i])
+			return
+		}
+	}
+}
+
+// firstDiff describes the first element present in one sorted list but
+// not the other — the record a count mismatch lost or invented.
+func firstDiff(got, want []string) string {
+	i, j := 0, 0
+	for i < len(got) && j < len(want) {
+		switch {
+		case got[i] == want[j]:
+			i++
+			j++
+		case got[i] < want[j]:
+			return fmt.Sprintf(" (extra output %q)", got[i])
+		default:
+			return fmt.Sprintf(" (missing output %q)", want[j])
+		}
+	}
+	if i < len(got) {
+		return fmt.Sprintf(" (extra output %q)", got[i])
+	}
+	if j < len(want) {
+		return fmt.Sprintf(" (missing output %q)", want[j])
+	}
+	return ""
+}
+
+// checkReport verifies the Report's accounting identities. faulted
+// distinguishes the run kind: a clean run must show zeroed recovery
+// and integrity counters; a faulted run must show zeros exactly for
+// the fault dimensions the case does not inject.
+func checkReport(v *Verdict, c *Case, label string, rep *engine.Report, faulted bool) {
+	acct := func(format string, args ...any) { v.addf(label, "accounting", format, args...) }
+
+	var byClass int64
+	for _, b := range rep.ChecksumOverheadByClass {
+		if b < 0 {
+			acct("negative per-class checksum overhead: %v", rep.ChecksumOverheadByClass)
+		}
+		byClass += b
+	}
+	if rep.ChecksumOverheadBytes != byClass {
+		acct("ChecksumOverheadBytes=%d != sum(ByClass)=%d", rep.ChecksumOverheadBytes, byClass)
+	}
+	if !c.Checksums {
+		if rep.ChecksumOverheadBytes != 0 {
+			acct("checksums off but ChecksumOverheadBytes=%d", rep.ChecksumOverheadBytes)
+		}
+		if rep.CorruptFramesDetected != 0 || rep.TornWritesRepaired != 0 {
+			acct("checksums off but corrupt=%d torn=%d",
+				rep.CorruptFramesDetected, rep.TornWritesRepaired)
+		}
+	}
+	if rep.CorruptFramesDetected < rep.TornWritesRepaired {
+		acct("CorruptFramesDetected=%d < TornWritesRepaired=%d",
+			rep.CorruptFramesDetected, rep.TornWritesRepaired)
+	}
+
+	if !faulted {
+		zero := func(what string, n int64) {
+			if n != 0 {
+				acct("clean run but %s=%d", what, n)
+			}
+		}
+		zero("NodesLost", int64(rep.NodesLost))
+		zero("ReExecutedMapTasks", int64(rep.ReExecutedMapTasks))
+		zero("RestartedReduceTasks", int64(rep.RestartedReduceTasks))
+		zero("SpeculativeBackups", int64(rep.SpeculativeBackups))
+		zero("SpeculativeWins", int64(rep.SpeculativeWins))
+		zero("FetchRetries", rep.FetchRetries)
+		zero("WastedCPUPerNode", int64(rep.WastedCPUPerNode))
+		zero("Checkpoints", rep.Checkpoints)
+		zero("CheckpointBytes", rep.CheckpointBytes)
+		zero("RecoveryReadBytes", rep.RecoveryReadBytes)
+		zero("IORetries", rep.IORetries)
+		zero("CorruptFramesDetected", rep.CorruptFramesDetected)
+		zero("TornWritesRepaired", rep.TornWritesRepaired)
+	} else {
+		// Dimensions the case does not inject must stay exactly zero.
+		if c.IOErrRate == 0 && rep.IORetries != 0 {
+			acct("no transient errors injected but IORetries=%d", rep.IORetries)
+		}
+		if c.CorruptRate == 0 && !c.TornWrites && rep.CorruptFramesDetected != 0 {
+			acct("no corruption injected but CorruptFramesDetected=%d", rep.CorruptFramesDetected)
+		}
+		if !c.TornWrites && rep.TornWritesRepaired != 0 {
+			acct("no torn writes injected but TornWritesRepaired=%d", rep.TornWritesRepaired)
+		}
+		if c.KillFracPct == 0 && rep.NodesLost != 0 {
+			acct("no kills scheduled but NodesLost=%d", rep.NodesLost)
+		}
+		if !c.Speculate && (rep.SpeculativeBackups != 0 || rep.SpeculativeWins != 0) {
+			acct("speculation off but backups=%d wins=%d",
+				rep.SpeculativeBackups, rep.SpeculativeWins)
+		}
+		if c.CheckpointDiv == 0 && (rep.Checkpoints != 0 || rep.CheckpointBytes != 0) {
+			acct("checkpointing off but Checkpoints=%d CheckpointBytes=%d",
+				rep.Checkpoints, rep.CheckpointBytes)
+		}
+		if rep.SpeculativeWins > rep.SpeculativeBackups {
+			acct("SpeculativeWins=%d > SpeculativeBackups=%d",
+				rep.SpeculativeWins, rep.SpeculativeBackups)
+		}
+	}
+
+	if !c.Poison && rep.QuarantinedRecords != 0 {
+		acct("no poison records but QuarantinedRecords=%d", rep.QuarantinedRecords)
+	}
+	if rep.OutputRecords != int64(len(rep.Outputs)) {
+		acct("OutputRecords=%d but %d records collected", rep.OutputRecords, len(rep.Outputs))
+	}
+	if rep.RunningTime <= 0 {
+		acct("non-positive RunningTime %v", rep.RunningTime)
+	}
+	if rep.MapFinishTime <= 0 || rep.MapFinishTime > rep.RunningTime {
+		acct("MapFinishTime %v outside (0, RunningTime=%v]", rep.MapFinishTime, rep.RunningTime)
+	}
+	if rep.InputBytes <= 0 || rep.MapInputRecords <= 0 {
+		acct("no input accounted: InputBytes=%d MapInputRecords=%d",
+			rep.InputBytes, rep.MapInputRecords)
+	}
+	if rep.Workers != 1 {
+		acct("serial run reports Workers=%d", rep.Workers)
+	}
+	for i, s := range rep.Spans {
+		if s.End < s.Start || s.Node < 0 || s.Node >= c.Nodes {
+			v.addf(label, "accounting", "malformed span %d: %+v", i, s)
+			break
+		}
+	}
+	checkProgress(v, c, label, rep)
+}
+
+// checkProgress sanity-checks the Definition 1 progress curve: sample
+// times strictly ordered and progress fractions within [0, 1]. (The
+// fractions themselves may regress on faulted runs — restarted work
+// lowers the completed fraction — so monotonicity is not asserted.)
+func checkProgress(v *Verdict, c *Case, label string, rep *engine.Report) {
+	lastT := time.Duration(-1)
+	for i, p := range rep.Progress {
+		if p.T < lastT {
+			v.addf(label, "accounting", "progress point %d goes back in time: %v after %v",
+				i, p.T, lastT)
+			return
+		}
+		lastT = p.T
+		if p.Map < 0 || p.Map > 1.0001 || p.Reduce < 0 || p.Reduce > 1.0001 {
+			v.addf(label, "accounting", "progress point %d has map=%v reduce=%v outside [0,1]",
+				i, p.Map, p.Reduce)
+			return
+		}
+	}
+}

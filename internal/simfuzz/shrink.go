@@ -1,0 +1,164 @@
+package simfuzz
+
+import "reflect"
+
+// shrinkStep is one candidate simplification; it mutates the case in
+// place and reports whether anything changed.
+type shrinkStep struct {
+	name  string
+	apply func(*Case) bool
+}
+
+// shrinkSteps are ordered: structural simplifications first (drop
+// fault dimensions, drop the worker rerun), then input-size halving,
+// then cluster shrinking, then relaxing knobs toward defaults. Each
+// step is kept only if the shrunk case still fails, so the order is a
+// search heuristic, not a correctness requirement.
+var shrinkSteps = []shrinkStep{
+	{"drop-disk", func(c *Case) bool {
+		ch := c.IOErrRate != 0 || c.CorruptRate != 0 || c.TornWrites || len(c.DiskClasses) > 0
+		c.IOErrRate, c.CorruptRate, c.TornWrites, c.DiskClasses = 0, 0, false, nil
+		return ch
+	}},
+	{"drop-kill", func(c *Case) bool { ch := c.KillFracPct != 0; c.KillFracPct = 0; return ch }},
+	{"drop-slow", func(c *Case) bool { ch := c.SlowFactor != 0; c.SlowFactor = 0; return ch }},
+	{"drop-speculate", func(c *Case) bool { ch := c.Speculate; c.Speculate = false; return ch }},
+	{"drop-reduce-fails", func(c *Case) bool { ch := len(c.ReduceFails) > 0; c.ReduceFails = nil; return ch }},
+	{"drop-map-fails", func(c *Case) bool { ch := len(c.MapFails) > 0; c.MapFails = nil; return ch }},
+	{"halve-map-fails", func(c *Case) bool {
+		if len(c.MapFails) < 2 {
+			return false
+		}
+		c.MapFails = c.MapFails[:len(c.MapFails)/2]
+		return true
+	}},
+	{"drop-checkpoint", func(c *Case) bool { ch := c.CheckpointDiv != 0; c.CheckpointDiv = 0; return ch }},
+	{"drop-poison", func(c *Case) bool { ch := c.Poison; c.Poison = false; return ch }},
+	{"drop-snapshot", func(c *Case) bool { ch := c.SnapshotEvery != 0; c.SnapshotEvery = 0; return ch }},
+	{"drop-scan", func(c *Case) bool { ch := c.ScanEvery != 0; c.ScanEvery = 0; return ch }},
+	{"checksums-off", func(c *Case) bool { ch := c.Checksums; c.Checksums = false; return ch }},
+	{"drop-workers", func(c *Case) bool { ch := c.Workers2 != 0; c.Workers2 = 0; return ch }},
+	{"halve-input", func(c *Case) bool {
+		if c.InputKB <= 4 {
+			return false
+		}
+		c.InputKB /= 2
+		return true
+	}},
+	{"halve-users", func(c *Case) bool {
+		if c.Users <= 8 {
+			return false
+		}
+		c.Users /= 2
+		return true
+	}},
+	{"halve-urls", func(c *Case) bool {
+		if c.URLs <= 8 {
+			return false
+		}
+		c.URLs /= 2
+		return true
+	}},
+	{"halve-vocab", func(c *Case) bool {
+		if c.Vocab <= 8 {
+			return false
+		}
+		c.Vocab /= 2
+		return true
+	}},
+	{"shrink-nodes", func(c *Case) bool {
+		min := 1
+		if c.KillFracPct > 0 {
+			min = 2
+		}
+		if c.Nodes <= min {
+			return false
+		}
+		c.Nodes--
+		return true
+	}},
+	{"shrink-r", func(c *Case) bool {
+		if c.R <= 1 {
+			return false
+		}
+		c.R = 1
+		return true
+	}},
+	{"shrink-slots", func(c *Case) bool {
+		if c.MapSlots <= 1 && c.ReduceSlots <= 1 && c.Cores <= 1 {
+			return false
+		}
+		c.MapSlots, c.ReduceSlots, c.Cores = 1, 1, 1
+		return true
+	}},
+	{"default-merge-factor", func(c *Case) bool { ch := c.MergeFactor != 10; c.MergeFactor = 10; return ch }},
+	{"default-buffers", func(c *Case) bool {
+		ch := c.MapBufKB != 64 || c.ReduceBufKB != 64
+		c.MapBufKB, c.ReduceBufKB = 64, 64
+		return ch
+	}},
+	{"default-page", func(c *Case) bool { ch := c.PageB != 4096; c.PageB = 4096; return ch }},
+	{"default-slotcache", func(c *Case) bool { ch := c.SlotCache != 8; c.SlotCache = 8; return ch }},
+	{"default-replication", func(c *Case) bool { ch := c.Replication != 1; c.Replication = 1; return ch }},
+	{"ssd-off", func(c *Case) bool { ch := c.SSD; c.SSD = false; return ch }},
+	{"default-hints", func(c *Case) bool {
+		ch := c.Km != 0.2 || c.DistinctKeys != 1024
+		c.Km, c.DistinctKeys = 0.2, 1024
+		return ch
+	}},
+	{"default-pad", func(c *Case) bool { ch := c.PadBytes != 0; c.PadBytes = 0; return ch }},
+}
+
+// Shrink greedily minimizes a failing case: every simplification step
+// (and, first, restricting to a single platform) is kept only if the
+// case still fails, looping to a fixpoint. budget caps the number of
+// RunCase executions (each one runs full jobs); 0 means a default of
+// 80. It returns the smallest still-failing case found and its
+// verdict. If c does not fail, it is returned unchanged.
+func Shrink(c Case, budget int) (Case, Verdict) {
+	if budget <= 0 {
+		budget = 80
+	}
+	best := c.Clone()
+	best.Normalize()
+	bestV := RunCase(best)
+	if bestV.OK() {
+		return best, bestV
+	}
+	runs := 1
+	// try keeps cand as the new best if it (still) fails.
+	try := func(cand Case) bool {
+		cand.Normalize()
+		if runs >= budget || reflect.DeepEqual(cand, best) {
+			return false
+		}
+		runs++
+		v := RunCase(cand)
+		if v.OK() {
+			return false
+		}
+		best, bestV = cand, v
+		return true
+	}
+	for changed := true; changed && runs < budget; {
+		changed = false
+		// One platform is enough for a repro; try each in turn.
+		if len(best.Platforms) > 1 {
+			for _, p := range best.Platforms {
+				cand := best.Clone()
+				cand.Platforms = []string{p}
+				if try(cand) {
+					changed = true
+					break
+				}
+			}
+		}
+		for _, step := range shrinkSteps {
+			cand := best.Clone()
+			if step.apply(&cand) && try(cand) {
+				changed = true
+			}
+		}
+	}
+	return best, bestV
+}

@@ -1,0 +1,27 @@
+package sortmerge
+
+import "os"
+
+// Planted mutations for the simfuzz mutation check: deliberately
+// broken variants of the data path, compiled in but inert unless the
+// ONEPASS_MUTATION environment variable names them. They exist to
+// prove the randomized differential harness (internal/simfuzz)
+// actually catches and minimizes real bugs — a test enables one and
+// asserts the harness reports a caught, shrunk failure.
+const (
+	// MutationEnv is the environment variable naming the active planted
+	// mutation ("" = none, the only production configuration).
+	MutationEnv = "ONEPASS_MUTATION"
+
+	// MutationSpillDropRun plants an off-by-one in the reduce-side
+	// shuffle-spill merge: it walks bufRuns[:len-1] instead of all
+	// buffered runs, silently losing the newest run's records whenever
+	// the shuffle buffer spills holding more than one run. The answer
+	// is wrong only under configurations where spills trigger with
+	// multiple buffered segments — exactly the kind of
+	// configuration-dependent bug the randomized sweep is for.
+	MutationSpillDropRun = "spill-drop-run"
+)
+
+// mutationEnabled reports whether the named planted mutation is active.
+func mutationEnabled(name string) bool { return os.Getenv(MutationEnv) == name }

@@ -241,6 +241,8 @@ type Reducer struct {
 	treeRuns  int // leading finalRuns entries that are recycled buffers
 
 	received int64
+
+	dropRunBug bool // planted MutationSpillDropRun (test-only, env-gated)
 }
 
 // NewReducer creates the reduce-side machinery. If q implements
@@ -256,6 +258,7 @@ func NewReducer(rt *core.Runtime, q mr.Query, cfg ReducerConfig) *Reducer {
 	if comb, ok := q.(mr.Combiner); ok {
 		r.comb = comb
 	}
+	r.dropRunBug = mutationEnabled(MutationSpillDropRun)
 	return r
 }
 
@@ -282,12 +285,18 @@ func (r *Reducer) spillBuffer() {
 	if len(r.bufRuns) == 0 {
 		return
 	}
+	spillRuns := r.bufRuns
+	if r.dropRunBug && len(spillRuns) > 1 {
+		// Planted off-by-one (MutationSpillDropRun): the newest buffered
+		// run is excluded from the spill merge and its records are lost.
+		spillRuns = spillRuns[:len(spillRuns)-1]
+	}
 	run := bytestore.Get(int(r.bufBytes))
 	var records int64
 	if r.comb != nil {
 		// Merge + combine in one pass; combined records count as
 		// progress (Definition 1's "combine function completed").
-		if err := kvenc.MergeGroupsChecked(r.bufRuns, func(key []byte, vals kvenc.ValueIter) bool {
+		if err := kvenc.MergeGroupsChecked(spillRuns, func(key []byte, vals kvenc.ValueIter) bool {
 			grp := &kvenc.CountingIter{Inner: vals}
 			r.comb.Combine(key, grp, func(v []byte) {
 				run = kvenc.AppendPair(run, key, v)
@@ -301,7 +310,7 @@ func (r *Reducer) spillBuffer() {
 		r.rt.ChargeOps(r.rt.Model.CPUCombine, records)
 	} else {
 		var err error
-		run, err = kvenc.MergeStreamTo(run, r.bufRuns)
+		run, err = kvenc.MergeStreamTo(run, spillRuns)
 		if err != nil {
 			panic(fmt.Errorf("sortmerge: corrupt shuffled run in %s: %w", r.cfg.Prefix, err))
 		}

@@ -41,6 +41,12 @@ type ClickSpec struct {
 	Duration time.Duration
 	// Jitter bounds timestamp disorder (arrival time vs event time).
 	Jitter time.Duration
+
+	// Pad is the agent-padding length in bytes (record-shape knob: it
+	// sets the fixed record size without touching any parsed field).
+	// 0 keeps the default 32-byte padding, preserving the historical
+	// byte-exact record layout.
+	Pad int
 }
 
 // DefaultClickSpec returns a spec with WorldCup-like shape for the
@@ -70,6 +76,7 @@ func DefaultClickSpec(physBytes, chunkPhys int64, seed int64) ClickSpec {
 // order.
 type ClickStream struct {
 	spec      ClickSpec
+	pad       []byte
 	recBytes  int
 	recsChunk int
 	totalRecs int64
@@ -77,6 +84,21 @@ type ClickStream struct {
 }
 
 const clickPad = "Mozilla/4.0-compatible-padpadpad"
+
+// padding returns the agent-padding bytes for a pad length: the
+// default string, truncated or extended by repetition. Every parsed
+// field keeps its offset; only the record tail (and hence the physical
+// record size) changes.
+func padding(n int) []byte {
+	if n <= 0 {
+		n = len(clickPad)
+	}
+	p := make([]byte, 0, n)
+	for len(p) < n {
+		p = append(p, clickPad[:min(n-len(p), len(clickPad))]...)
+	}
+	return p
+}
 
 // NewClickStream builds the generator for a spec.
 func NewClickStream(spec ClickSpec) *ClickStream {
@@ -86,7 +108,7 @@ func NewClickStream(spec ClickSpec) *ClickStream {
 	if spec.Users < 1 || spec.URLs < 1 {
 		panic("workload: need positive pools")
 	}
-	c := &ClickStream{spec: spec}
+	c := &ClickStream{spec: spec, pad: padding(spec.Pad)}
 	c.recBytes = len(c.appendRecord(nil, 0, 0, 0, 200, 1234))
 	c.recsChunk = int(spec.ChunkPhys) / c.recBytes
 	if c.recsChunk < 1 {
@@ -149,7 +171,7 @@ func (c *ClickStream) appendRecord(dst []byte, tsMillis int64, user, url, status
 	dst = append(dst, '\t')
 	dst = appendPadInt(dst, int64(size), 4)
 	dst = append(dst, '\t')
-	dst = append(dst, clickPad...)
+	dst = append(dst, c.pad...)
 	return append(dst, '\n')
 }
 
