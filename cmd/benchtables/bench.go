@@ -187,6 +187,42 @@ func runBenchJSON(path string) error {
 				}
 			}
 		}},
+		{"job/SessionizationRealW8", 0, func(b *testing.B) {
+			// The same 16GB sessionization job on the wall-clock
+			// backend: real goroutines (8 workers), in-memory shuffle.
+			// The ns/op here is genuine execution time, so the ratio to
+			// SessionizationSM16G is the DES's simulation overhead.
+			m := onepass.DefaultModel(1.0 / 4096)
+			cluster := onepass.PaperCluster(m)
+			cluster.MergeFactor = 16
+			const users = 20_000
+			input := onepass.SyntheticClickStream(onepass.ClickStreamSpec{
+				PhysBytes: m.ScaleBytes(16e9),
+				ChunkPhys: m.ScaleBytes(64e6),
+				Seed:      42,
+				Users:     users,
+				UserSkew:  1.2,
+				URLs:      10_000,
+				URLSkew:   1.3,
+				Duration:  24 * time.Hour,
+				Jitter:    2 * time.Second,
+			})
+			newQ := func() onepass.Query {
+				return onepass.Sessionization(5*time.Minute, 512, 5*time.Second)
+			}
+			for i := 0; i < b.N; i++ {
+				_, err := onepass.RunReal(onepass.Job{
+					Input:     input,
+					Platform:  onepass.SortMerge,
+					Cluster:   cluster,
+					Hints:     onepass.Hints{Km: 1.15, DistinctKeys: users},
+					ScanEvery: 4096,
+				}, newQ, 8)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 	}
 
 	rep := benchReport{

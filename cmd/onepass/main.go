@@ -8,6 +8,12 @@
 //
 // Queries: sessionization, clickcount, frequsers, pagefreq, trigram.
 // Platforms: sm, hop, mr-hash, inc-hash, dinc-hash.
+//
+// -backend=real runs the job on real goroutines under wall-clock time
+// with an in-memory shuffle instead of the discrete-event simulation;
+// answers and counters match the simulated run, while the reported
+// times are measured. Fault-injection and checkpoint flags are
+// simulation-only.
 package main
 
 import (
@@ -15,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -28,6 +35,7 @@ func main() {
 	var (
 		queryFlag   = flag.String("query", "sessionization", "query: sessionization|clickcount|frequsers|pagefreq|trigram")
 		platFlag    = flag.String("platform", "inc-hash", "platform: sm|hop|mr-hash|inc-hash|dinc-hash")
+		backendFlag = flag.String("backend", "sim", "execution backend: sim (discrete-event simulation) | real (goroutines, wall-clock time, in-memory shuffle)")
 		dataFlag    = flag.Float64("data", 64e9, "logical input size in bytes")
 		scaleFlag   = flag.String("scale", "1/512", "physical:logical scale, e.g. 1/512")
 		chunkFlag   = flag.Float64("chunk", 64e6, "chunk size C in logical bytes")
@@ -92,25 +100,30 @@ func main() {
 		users = int(2.2 * float64(int64(cluster.R*cluster.Nodes)*cluster.ReduceBuffer) / float64(*stateFlag+50))
 	}
 
-	var query onepass.Query
+	// Queries are built through a factory: the real backend needs a
+	// fresh instance per task (queries carry per-task scratch state),
+	// and the simulation just calls it once.
+	var newQuery func() onepass.Query
 	var input onepass.Input
 	hints := onepass.Hints{Km: 1, DistinctKeys: int64(users)}
 	switch *queryFlag {
 	case "sessionization":
-		query = onepass.Sessionization(5*time.Minute, *stateFlag, 5*time.Second)
+		newQuery = func() onepass.Query {
+			return onepass.Sessionization(5*time.Minute, *stateFlag, 5*time.Second)
+		}
 		hints.Km = 1.15
 	case "clickcount":
-		query = onepass.ClickCount()
+		newQuery = onepass.ClickCount
 		hints.Km = 0.01
 	case "frequsers":
-		query = onepass.FrequentUsers(50)
+		newQuery = func() onepass.Query { return onepass.FrequentUsers(50) }
 		hints.Km = 0.01
 	case "pagefreq":
-		query = onepass.PageFrequency()
+		newQuery = onepass.PageFrequency
 		hints.Km = 0.01
 		hints.DistinctKeys = 20_000
 	case "trigram":
-		query = onepass.TrigramCount(1000)
+		newQuery = func() onepass.Query { return onepass.TrigramCount(1000) }
 		hints.Km = 3
 		hints.DistinctKeys = 12_000_000
 		input = onepass.SyntheticDocCorpus(onepass.DocCorpusSpec{
@@ -150,8 +163,7 @@ func main() {
 		TornWrites:  *tornFlag,
 	}
 
-	rep, err := onepass.Run(onepass.Job{
-		Query:           query,
+	job := onepass.Job{
 		Input:           input,
 		Platform:        platform,
 		Cluster:         cluster,
@@ -161,7 +173,21 @@ func main() {
 		Faults:          faults,
 		CheckpointEvery: *ckptFlag,
 		SkipBadRecords:  *skipFlag,
-	})
+	}
+	var rep *onepass.Report
+	switch *backendFlag {
+	case "sim":
+		job.Query = newQuery()
+		rep, err = onepass.Run(job)
+	case "real":
+		workers := *workersFlag
+		if workers == 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		rep, err = onepass.RunReal(job, newQuery, workers)
+	default:
+		err = fmt.Errorf("unknown backend %q (want sim or real)", *backendFlag)
+	}
 	if err != nil {
 		fatal(err)
 	}

@@ -25,15 +25,16 @@ import (
 	"repro/internal/cost"
 	"repro/internal/hashfam"
 	"repro/internal/kvenc"
-	"repro/internal/sim"
 	"repro/internal/storage"
+	"repro/internal/substrate"
 )
 
 // Runtime is the per-task execution context the engine hands to
-// platform components: the simulated process, the node store for
-// spills, the cost model, the hash family, and accounting callbacks.
+// platform components: the task's substrate process (simulated or
+// wall-clock), the node store for spills, the cost model, the hash
+// family, and accounting callbacks.
 type Runtime struct {
-	P     *sim.Proc
+	P     substrate.Proc
 	Store *storage.Store
 	Model cost.Model
 	Fam   *hashfam.Family
@@ -108,7 +109,7 @@ func (rt *Runtime) ChargeOps(per time.Duration, n int64) {
 }
 
 // NopRuntime returns a runtime with no-op accounting for tests.
-func NopRuntime(p *sim.Proc, store *storage.Store, m cost.Model) *Runtime {
+func NopRuntime(p substrate.Proc, store *storage.Store, m cost.Model) *Runtime {
 	return &Runtime{
 		P:         p,
 		Store:     store,

@@ -5,12 +5,18 @@
 // or the paper's hash platforms (internal/core), while a metrics
 // sampler records progress, task timelines, and CPU/iowait series.
 //
-// Everything runs inside a deterministic discrete-event simulation
-// (internal/sim): map tasks are processes competing for map slots,
-// reducers shuffle from completed mappers (from the mapper's memory if
-// fetched promptly, from its disk otherwise — reproducing the §3.2
-// two-wave reducer effect), and every byte moved charges virtual time
-// under the calibrated cost model (internal/cost).
+// The engine is the discrete-event substrate: jobs run inside a
+// deterministic simulation (internal/sim), where map tasks are
+// processes competing for map slots, reducers shuffle from completed
+// mappers (from the mapper's memory if fetched promptly, from its disk
+// otherwise — reproducing the §3.2 two-wave reducer effect), and every
+// byte moved charges virtual time under the calibrated cost model
+// (internal/cost). The data paths themselves are written against the
+// substrate interfaces (internal/substrate) and are shared with the
+// wall-clock backend (internal/realexec), which runs the same code on
+// real goroutines; JobSpec, Report, and the platform constants here
+// are common to both. Fault plans, checkpointing, and the virtual-time
+// schedule (progress curves, timelines) remain simulation-only.
 package engine
 
 import (
@@ -56,8 +62,10 @@ func (pl Platform) String() string {
 // processes key states (INC-hash and DINC-hash).
 func (pl Platform) Incremental() bool { return pl == INCHash || pl == DINCHash }
 
-// ClusterConfig describes the simulated cluster and the Hadoop-level
-// parameters. All byte sizes are physical (already scaled); use
+// ClusterConfig describes the cluster and the Hadoop-level parameters,
+// on either substrate: the simulation models N such nodes, the
+// wall-clock backend uses the same geometry to size tasks, reducers,
+// and buffers. All byte sizes are physical (already scaled); use
 // PaperCluster to get the paper's testbed at a chosen scale.
 type ClusterConfig struct {
 	Nodes       int // N
@@ -132,7 +140,10 @@ func PaperCluster(m cost.Model) ClusterConfig {
 	}
 }
 
-// JobSpec is a complete job submission.
+// JobSpec is a complete job submission, accepted by both substrates
+// (engine.Run and internal/realexec). The wall-clock backend ignores
+// Query — it builds a fresh instance per task from a factory — and
+// rejects Faults and CheckpointEvery, which only the DES can execute.
 type JobSpec struct {
 	Query    mr.Query
 	Input    dfs.Input
@@ -184,6 +195,12 @@ type JobSpec struct {
 
 	Seed int64
 }
+
+// Validate fills defaults in place and rejects invalid specs. It is
+// the exported form of the engine's own admission check, shared with
+// the wall-clock backend (internal/realexec) so both substrates
+// resolve the same effective configuration from the same spec.
+func (s *JobSpec) Validate() error { return s.validate() }
 
 // validate fills defaults and rejects nonsense.
 func (s *JobSpec) validate() error {
@@ -483,6 +500,12 @@ func (d *DiskFaultPlan) storeFaults(idx int) *storage.DiskFaults {
 		To:          int64(d.To),
 	}
 }
+
+// Active reports whether the plan injects anything at all — task
+// failures, node kills, stragglers, speculation, or disk faults. The
+// wall-clock backend uses it to reject fault plans, which only the
+// DES can execute.
+func (f *FaultPlan) Active() bool { return f.any() || f.Disk.any() }
 
 // any reports whether the plan injects anything at all.
 func (f *FaultPlan) any() bool {

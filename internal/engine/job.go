@@ -83,7 +83,9 @@ func (j *job) addSpan(name, kind string, node int, start, end int64) {
 	})
 }
 
-// Run executes the job to completion and returns the report.
+// Run executes the job to completion on the discrete-event simulation
+// and returns the report. For the same job on real goroutines under
+// wall-clock time, see internal/realexec (onepass.RunReal).
 func Run(spec JobSpec) (*Report, error) {
 	if err := spec.validate(); err != nil {
 		return nil, err

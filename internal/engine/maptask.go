@@ -12,6 +12,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/sortmerge"
 	"repro/internal/storage"
+	"repro/internal/substrate"
 )
 
 // collector abstracts the two map-output components (sort-merge's Map
@@ -423,7 +424,7 @@ func (j *job) runMapAttempt(p *sim.Proc, chunk int, n *node, attempt int, fail, 
 // disk (U3, for fault tolerance) and registers the output with the
 // shuffle service. task is the map task index (-1 for HOP spill
 // pushes, which are never re-executed).
-func (j *job) publishMapOutput(p *sim.Proc, n *node, name string, task int, parts [][][]byte, records int64) *mapOutput {
+func (j *job) publishMapOutput(p substrate.Proc, n *node, name string, task int, parts [][][]byte, records int64) *mapOutput {
 	o := &mapOutput{
 		node:      n,
 		task:      task,

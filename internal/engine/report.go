@@ -10,7 +10,13 @@ import (
 )
 
 // Report is the result of a job run, with all sizes rescaled to
-// logical (paper-scale) bytes and all times in virtual cluster time.
+// logical (paper-scale) bytes. On the simulation all times are virtual
+// cluster time (except WallTime); on the wall-clock backend
+// (internal/realexec) the CPU ledgers stay virtual — charged by the
+// same cost model — while RunningTime, MapFinishTime, WallTime, and
+// Spans are measured host time, and Progress/Samples are absent.
+// Every answer-derived field (record counts, byte volumes, outputs) is
+// identical across both substrates and any worker count.
 type Report struct {
 	Query    string
 	Platform string

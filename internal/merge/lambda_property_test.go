@@ -10,6 +10,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/sim"
 	"repro/internal/storage"
+	"repro/internal/substrate"
 )
 
 // mergeRef is a pure-arithmetic mirror of the Tree's greedy policy,
@@ -70,7 +71,7 @@ type passCharger struct {
 	records int64
 }
 
-func (c *passCharger) ChargeMerge(_ *sim.Proc, n int64) {
+func (c *passCharger) ChargeMerge(_ substrate.Proc, n int64) {
 	c.passes++
 	c.records += n
 }

@@ -22,7 +22,7 @@ import (
 
 	"repro/internal/bytestore"
 	"repro/internal/kvenc"
-	"repro/internal/sim"
+	"repro/internal/substrate"
 	"repro/internal/storage"
 )
 
@@ -32,7 +32,7 @@ import (
 type CPUCharger interface {
 	// ChargeMerge accounts for moving physRecords records through one
 	// merge pass (read, compare, write).
-	ChargeMerge(p *sim.Proc, physRecords int64)
+	ChargeMerge(p substrate.Proc, physRecords int64)
 }
 
 // Tree is the set of on-disk sorted runs of one task, with the
@@ -72,7 +72,7 @@ func (t *Tree) MergedBytes() int64 { return t.mergedBytes }
 
 // AddRun writes a sorted run to a new spill file. The caller must
 // drive NeedsMerge/MergeOnce (directly or via a background process).
-func (t *Tree) AddRun(p *sim.Proc, run []byte) {
+func (t *Tree) AddRun(p substrate.Proc, run []byte) {
 	if len(run) == 0 {
 		return
 	}
@@ -90,7 +90,7 @@ func (t *Tree) NeedsMerge() bool { return len(t.files) >= 2*t.f-1 }
 // MergeOnce merges the smallest F files into a new on-disk file,
 // charging reads, CPU, and the write. It returns false if fewer than
 // F files exist (nothing merged).
-func (t *Tree) MergeOnce(p *sim.Proc, cpu CPUCharger) bool {
+func (t *Tree) MergeOnce(p substrate.Proc, cpu CPUCharger) bool {
 	if len(t.files) < t.f {
 		return false
 	}
@@ -153,7 +153,7 @@ func (t *Tree) MergeOnce(p *sim.Proc, cpu CPUCharger) bool {
 // Complete runs merges until the on-disk file count drops below the
 // 2F−1 threshold ("complete the multi-pass merge"). Called after all
 // runs have been added.
-func (t *Tree) Complete(p *sim.Proc, cpu CPUCharger) {
+func (t *Tree) Complete(p substrate.Proc, cpu CPUCharger) {
 	for t.NeedsMerge() {
 		if !t.MergeOnce(p, cpu) {
 			return
@@ -167,7 +167,7 @@ func (t *Tree) Complete(p *sim.Proc, cpu CPUCharger) {
 // recycled buffers: the caller may bytestore.Put each one once the
 // final merge has drained it (optional — unreturned buffers just fall
 // to the GC).
-func (t *Tree) FinalRuns(p *sim.Proc) [][]byte {
+func (t *Tree) FinalRuns(p substrate.Proc) [][]byte {
 	runs := make([][]byte, 0, len(t.files))
 	for _, f := range t.files {
 		data := t.store.ReadAll(p, f, t.seg, t.class)
@@ -182,7 +182,7 @@ func (t *Tree) FinalRuns(p *sim.Proc) [][]byte {
 // it: the snapshot path of MapReduce Online re-merges the same on-disk
 // runs repeatedly, which is exactly the overhead the paper calls out
 // in §3.3(4).
-func (t *Tree) PeekRuns(p *sim.Proc) [][]byte {
+func (t *Tree) PeekRuns(p substrate.Proc) [][]byte {
 	runs := make([][]byte, 0, len(t.files))
 	for _, f := range t.files {
 		data := t.store.ReadAll(p, f, t.seg, t.class)

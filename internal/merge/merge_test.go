@@ -10,6 +10,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/sim"
 	"repro/internal/storage"
+	"repro/internal/substrate"
 )
 
 // makeRun builds a sorted run of roughly want bytes.
@@ -200,7 +201,7 @@ func TestIOChargedToReduceSpillClass(t *testing.T) {
 
 type countingCharger struct{ records int64 }
 
-func (c *countingCharger) ChargeMerge(_ *sim.Proc, n int64) { c.records += n }
+func (c *countingCharger) ChargeMerge(_ substrate.Proc, n int64) { c.records += n }
 
 func TestCPUChargerInvoked(t *testing.T) {
 	k := sim.NewKernel()

@@ -1,0 +1,837 @@
+// Package realexec runs MapReduce jobs on the wall-clock substrate:
+// real goroutines, real time, and an M3R-style in-memory shuffle.
+//
+// It executes the same platform components (internal/core,
+// internal/sortmerge) against the same JobSpec as the DES engine
+// (internal/engine), producing an engine.Report whose answer fields —
+// output records and collected rows, map/reduce record counts, byte
+// counters, virtual CPU ledgers — are bit-for-bit identical to the
+// engine's clean-run path and deterministic for any worker count.
+// Wall-clock fields (RunningTime, MapFinishTime, WallTime, Spans) are
+// measured, not simulated, and vary run to run.
+//
+// Determinism comes from structure, not luck:
+//
+//   - each task runs serially on its own WallProc (Workers() == 1) with
+//     its own store and CPU ledger, so nothing a task computes depends
+//     on scheduling;
+//   - a barrier separates map and reduce phases, and every reducer
+//     consumes the cached map-output partitions in fixed (chunk, spill)
+//     order — the shuffle is entirely in memory, the M3R model, so
+//     MemShuffleFetches counts every fetch and DiskShuffleFetches is 0;
+//   - cross-task counters are integers summed in task order at the end.
+//
+// Only fault-free plans are admitted: fault injection (crashes,
+// stragglers, disk damage, checkpoint/restart) is simulation-only.
+package realexec
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bytestore"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/dfs"
+	"repro/internal/engine"
+	"repro/internal/hashfam"
+	"repro/internal/kvenc"
+	"repro/internal/mr"
+	"repro/internal/sortmerge"
+	"repro/internal/storage"
+	"repro/internal/substrate"
+)
+
+// Spec is a job submission for the real backend.
+type Spec struct {
+	// Job is the same spec the DES engine takes. Job.Query may be left
+	// nil: it is filled from NewQuery for validation and naming.
+	Job engine.JobSpec
+
+	// NewQuery returns a fresh query instance. Queries keep per-run
+	// scratch state (watermarks, reusable buffers), so concurrent tasks
+	// must never share one instance: every map and reduce task calls
+	// the factory once. All instances must be behaviorally identical.
+	NewQuery func() mr.Query
+
+	// Workers is the number of concurrent task goroutines (< 1 means 1).
+	// Answers and all deterministic Report fields are identical for any
+	// value; only wall-clock time changes.
+	Workers int
+}
+
+// collector mirrors the engine's map-output abstraction.
+type collector interface {
+	Add(key, val []byte)
+	Finish() (parts [][][]byte, mapped, emitted int64)
+}
+
+// unit is one published piece of map output, cached in memory — the
+// M3R-style shuffle. Reducers read their partition's segments directly;
+// no fetch ever touches a disk. Non-HOP map tasks publish one unit
+// each (seq 0); HOP publishes one per eager spill push.
+type unit struct {
+	chunk, seq int
+	parts      [][][]byte
+	partBytes  []int64
+}
+
+// run is the shared state of one real-backend job.
+type run struct {
+	spec        *engine.JobSpec
+	newQ        func() mr.Query
+	model       cost.Model
+	fam         *hashfam.Family
+	start       time.Time
+	numReducers int
+	totalMaps   int
+
+	inputBytesEst int64
+
+	units    []*unit
+	globalWM int64
+	hasWM    bool
+
+	fnRecords       atomic.Int64
+	memFetches      atomic.Int64
+	fetchesDone     atomic.Int64
+	snapshotRecords atomic.Int64
+}
+
+// Run executes the job on real goroutines and returns its report.
+func Run(s Spec) (*engine.Report, error) {
+	if s.NewQuery == nil {
+		return nil, fmt.Errorf("realexec: NewQuery factory is required")
+	}
+	spec := s.Job
+	spec.Query = s.NewQuery()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.Faults.Active() {
+		return nil, fmt.Errorf("realexec: fault plans run only on the DES backend")
+	}
+	if spec.CheckpointEvery > 0 {
+		return nil, fmt.Errorf("realexec: checkpointing runs only on the DES backend")
+	}
+	workers := s.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	cfg := &spec.Cluster
+	r := &run{
+		spec:        &spec,
+		newQ:        s.NewQuery,
+		model:       cfg.Model,
+		fam:         hashfam.NewFamily(spec.Seed ^ 0x0fa57),
+		start:       time.Now(),
+		numReducers: cfg.R * cfg.Nodes,
+		totalMaps:   spec.Input.NumChunks(),
+	}
+	if r.totalMaps == 0 {
+		return nil, fmt.Errorf("realexec: input has no chunks")
+	}
+	r.inputBytesEst = int64(len(spec.Input.ChunkBytes(0))) * int64(r.totalMaps)
+
+	placement := dfs.NewPlacement(cfg.Nodes, cfg.Replication)
+	assign := dfs.NewAssignment(spec.Input, placement)
+
+	// Map phase: fan the chunks over the worker pool; each task owns
+	// its store, proc, query, and ledger.
+	mapRes := make([]*mapResult, r.totalMaps)
+	forEach(workers, r.totalMaps, func(chunk int) {
+		mapRes[chunk] = r.runMapTask(chunk, assign.Node(chunk))
+	})
+	for _, mres := range mapRes {
+		if mres.err != nil {
+			return nil, mres.err
+		}
+	}
+	mapFinish := time.Since(r.start)
+
+	// Barrier: collect the cached shuffle units in (chunk, spill) order
+	// and resolve the global watermark — the same horizon the reference
+	// oracle uses, since every record has been observed by now.
+	for _, mres := range mapRes {
+		r.units = append(r.units, mres.units...)
+		if mres.hasTS && (!r.hasWM || mres.maxTS > r.globalWM) {
+			r.globalWM, r.hasWM = mres.maxTS, true
+		}
+	}
+	sort.Slice(r.units, func(i, j int) bool {
+		if r.units[i].chunk != r.units[j].chunk {
+			return r.units[i].chunk < r.units[j].chunk
+		}
+		return r.units[i].seq < r.units[j].seq
+	})
+
+	// Reduce phase.
+	redRes := make([]*reduceResult, r.numReducers)
+	forEach(workers, r.numReducers, func(ridx int) {
+		redRes[ridx] = r.runReduceTask(ridx, ridx%cfg.Nodes)
+	})
+	for _, rres := range redRes {
+		if rres.err != nil {
+			return nil, rres.err
+		}
+	}
+
+	return r.report(mapRes, redRes, mapFinish, workers), nil
+}
+
+// forEach runs fn(0) … fn(n-1) on up to workers goroutines.
+func forEach(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// newStore builds a per-task wall store configured like the engine's
+// node store.
+func (r *run) newStore(node int) *storage.Store {
+	st := storage.NewWallStore(node, r.model)
+	st.Checksums = r.spec.Cluster.Checksums
+	if r.spec.Cluster.SSDIntermediate {
+		st.Intermediate = cost.SSD
+	}
+	return st
+}
+
+// newRuntime builds the task runtime charging virtual CPU into ledger.
+func (r *run) newRuntime(p substrate.Proc, st *storage.Store, ledger *int64) *core.Runtime {
+	return &core.Runtime{
+		P:     p,
+		Store: st,
+		Model: r.model,
+		Fam:   r.fam,
+		ChargeCPU: func(d time.Duration) {
+			if d > 0 {
+				*ledger += int64(d)
+			}
+		},
+		FnRecords: func(k int64) { r.fnRecords.Add(k) },
+	}
+}
+
+// mapResult is one map task's outcome.
+type mapResult struct {
+	store  *storage.Store
+	units  []*unit
+	ledger int64
+
+	mapped, emitted, quarantined int64
+	maxTS                        int64
+	hasTS                        bool
+	span                         engine.Span
+	err                          error
+}
+
+// runMapTask executes one map task: read the chunk in segments
+// (charging input I/O and CPU exactly as the engine does), feed records
+// through a fresh query instance into the platform collector, write the
+// map output for U3 accounting parity, and cache it as a shuffle unit.
+func (r *run) runMapTask(chunk, node int) (res *mapResult) {
+	res = &mapResult{}
+	defer func() {
+		if rec := recover(); rec != nil {
+			res.err = fmt.Errorf("realexec: map task %d: %v", chunk, rec)
+		}
+	}()
+	p := substrate.NewWallProc(r.start)
+	taskStart := p.Now()
+	st := r.newStore(node)
+	res.store = st
+	rt := r.newRuntime(p, st, &res.ledger)
+	q := r.newQ()
+	wm, _ := q.(mr.Watermarker)
+	cfg := &r.spec.Cluster
+	model := r.model
+
+	var coll collector
+	var hop *wallHopCollector
+	switch r.spec.Platform {
+	case engine.SortMerge:
+		coll = sortmerge.NewMapCollector(rt, q, sortmerge.MapCollectorConfig{
+			Prefix:      fmt.Sprintf("m%06d.a0", chunk),
+			Partitions:  r.numReducers,
+			Buffer:      cfg.MapBuffer,
+			MergeFactor: cfg.MergeFactor,
+			ReadSegment: cfg.ReadSegment,
+		})
+	case engine.HOP:
+		hop = newWallHOPCollector(r, rt, res, chunk, q)
+		coll = hop
+	default:
+		coll = core.NewHashMapCollector(rt, q, r.numReducers, cfg.MapBuffer,
+			r.spec.Platform.Incremental())
+	}
+	hashCombining := false
+	if hashColl, ok := coll.(*core.HashMapCollector); ok {
+		hashCombining = hashColl.Combining()
+	}
+
+	data := r.spec.Input.ChunkBytes(chunk)
+	seg := cfg.ReadSegment
+	if seg <= 0 || seg > int64(len(data)) {
+		seg = int64(len(data))
+	}
+	t := &mapTask{run: r, res: res, q: q, wm: wm, coll: coll}
+	t.scratch = bytestore.Get(int(seg))
+	for off := int64(0); off < int64(len(data)); {
+		end := off + seg
+		if end >= int64(len(data)) {
+			end = int64(len(data))
+		} else if nl := bytes.IndexByte(data[end:], '\n'); nl >= 0 {
+			// Extend to the next record boundary, as the engine does.
+			end += int64(nl) + 1
+		} else {
+			end = int64(len(data))
+		}
+		st.ChargeInputRead(p, end-off)
+		records := t.segment(data[off:end])
+		if qb := r.spec.SkipBadRecords; qb > 0 && res.quarantined > qb {
+			panic(fmt.Errorf("map task %d quarantined %d records, over the %d budget",
+				chunk, res.quarantined, qb))
+		}
+		cpu := model.CPUOps(model.CPUParseByte, end-off) +
+			model.CPUOps(model.CPUMapRecord, records)
+		switch {
+		case r.spec.Platform == engine.SortMerge || r.spec.Platform == engine.HOP:
+			// Sorting CPU is charged inside the collector at spill time.
+		case hashCombining:
+			cpu += model.CPUOps(model.CPUHashInsert+model.CPUCombine, records)
+		default:
+			cpu += model.CPUOps(model.CPUHashInsert, records)
+		}
+		rt.ChargeCPU(cpu)
+		off = end
+	}
+	bytestore.Put(t.scratch)
+
+	parts, mapped, emitted := coll.Finish()
+	res.mapped, res.emitted = mapped, emitted
+	if hop == nil {
+		res.units = append(res.units,
+			r.publish(p, st, fmt.Sprintf("map%06d.a0.out", chunk), chunk, 0, parts))
+	}
+	res.span = engine.Span{
+		Name: fmt.Sprintf("map%06d#0", chunk), Kind: "map", Node: node,
+		Start: time.Duration(taskStart), End: time.Duration(p.Now()),
+	}
+	return res
+}
+
+// mapTask is the per-record state of one running map task.
+type mapTask struct {
+	run     *run
+	res     *mapResult
+	q       mr.Query
+	wm      mr.Watermarker
+	coll    collector
+	scratch []byte
+}
+
+// segment feeds every record of one read segment through the map
+// function, returning the record count.
+func (t *mapTask) segment(segment []byte) (records int64) {
+	quarantine := t.run.spec.SkipBadRecords > 0
+	for len(segment) > 0 {
+		nl := bytes.IndexByte(segment, '\n')
+		var line []byte
+		if nl < 0 {
+			line, segment = segment, nil
+		} else {
+			line, segment = segment[:nl], segment[nl+1:]
+		}
+		if len(line) == 0 {
+			continue
+		}
+		records++
+		if quarantine {
+			t.quarantineRecord(line)
+		} else {
+			t.record(line)
+		}
+	}
+	return records
+}
+
+// record runs one input record: emissions buffer in scratch and commit
+// to the collector only after Map (and RecordTime) succeed, so a
+// quarantined record leaves no trace — the same rollback contract as
+// the engine's segment replay.
+func (t *mapTask) record(line []byte) {
+	t.scratch = t.scratch[:0]
+	t.q.Map(line, func(k, v []byte) {
+		t.scratch = kvenc.AppendPair(t.scratch, k, v)
+	})
+	var ts int64
+	if t.wm != nil {
+		ts = t.wm.RecordTime(line)
+	}
+	it := kvenc.NewIterator(t.scratch)
+	for {
+		k, v, more := it.Next()
+		if !more {
+			break
+		}
+		t.coll.Add(k, v)
+	}
+	if err := it.Err(); err != nil {
+		// The pairs never left memory: a broken stream is a bug.
+		panic(fmt.Errorf("corrupt record replay: %w", err))
+	}
+	if t.wm != nil && (!t.res.hasTS || ts > t.res.maxTS) {
+		t.res.maxTS, t.res.hasTS = ts, true
+	}
+}
+
+// quarantineRecord is record under the bad-record quarantine: a panic
+// from Map or RecordTime skips and counts the record.
+func (t *mapTask) quarantineRecord(line []byte) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			t.res.quarantined++
+		}
+	}()
+	t.record(line)
+}
+
+// publish writes the per-partition segments to the task's store (U3,
+// kept for accounting parity with the engine even though the shuffle
+// never reads it back) and returns the in-memory shuffle unit.
+func (r *run) publish(p substrate.Proc, st *storage.Store, name string, chunk, seq int, parts [][][]byte) *unit {
+	u := &unit{chunk: chunk, seq: seq, parts: parts, partBytes: make([]int64, len(parts))}
+	var total int
+	for _, segs := range parts {
+		for _, s := range segs {
+			total += len(s)
+		}
+	}
+	all := bytestore.Get(total)
+	for pi, segs := range parts {
+		for _, s := range segs {
+			all = append(all, s...)
+			u.partBytes[pi] += int64(len(s))
+		}
+	}
+	f := st.Create(name, storage.MapOutput)
+	if len(all) > 0 {
+		// One write request, one checksum frame per partition region,
+		// like the engine's publishMapOutput.
+		st.AppendFrames(p, f, all, storage.MapOutput, u.partBytes)
+	}
+	bytestore.Put(all)
+	return u
+}
+
+// wallHopCollector is the engine's hopCollector on the wall substrate:
+// map output is pushed eagerly, one sorted (optionally combined) spill
+// at a time, each spill becoming its own shuffle unit.
+type wallHopCollector struct {
+	r     *run
+	rt    *core.Runtime
+	res   *mapResult
+	chunk int
+	comb  mr.Combiner
+	h1    interface {
+		Bucket(key []byte, n int) int
+	}
+
+	buf     []byte
+	pk      []byte
+	spills  int
+	mapped  int64
+	emitted int64
+}
+
+func newWallHOPCollector(r *run, rt *core.Runtime, res *mapResult, chunk int, q mr.Query) *wallHopCollector {
+	h := &wallHopCollector{r: r, rt: rt, res: res, chunk: chunk, h1: rt.Fam.Fn(1)}
+	if c, ok := q.(mr.Combiner); ok {
+		h.comb = c
+	}
+	return h
+}
+
+// Add implements collector.
+func (h *wallHopCollector) Add(key, val []byte) {
+	h.mapped++
+	part := h.h1.Bucket(key, h.r.numReducers)
+	h.pk = append(h.pk[:0], byte(part>>8), byte(part))
+	h.pk = append(h.pk, key...)
+	h.buf = kvenc.AppendPair(h.buf, h.pk, val)
+	if int64(len(h.buf)) >= h.r.spec.Cluster.MapBuffer {
+		h.push()
+	}
+}
+
+// push sorts the buffer, applies the combiner, and publishes the spill
+// as its own shuffle unit.
+func (h *wallHopCollector) push() {
+	if len(h.buf) == 0 {
+		return
+	}
+	model := h.rt.Model
+	sorted, n := h.rt.SortStreamTo(bytestore.Get(len(h.buf)), h.buf)
+	h.rt.ChargeCPU(model.CPUSort(int64(n)))
+	h.buf = h.buf[:0]
+	if h.comb != nil {
+		out := bytestore.Get(len(sorted))
+		var records int64
+		if err := kvenc.MergeGroupsChecked([][]byte{sorted}, func(pk []byte, vals kvenc.ValueIter) bool {
+			grp := &kvenc.CountingIter{Inner: vals}
+			h.comb.Combine(pk[2:], grp, func(v []byte) {
+				out = kvenc.AppendPair(out, pk, v)
+			})
+			records += grp.N
+			return true
+		}); err != nil {
+			panic(fmt.Errorf("corrupt hop spill in map task %d: %w", h.chunk, err))
+		}
+		h.rt.ChargeOps(model.CPUCombine, records)
+		bytestore.Put(sorted)
+		sorted = out
+	}
+	parts := make([][][]byte, h.r.numReducers)
+	segs := make([][]byte, h.r.numReducers)
+	it := kvenc.NewIterator(sorted)
+	var emitted int64
+	for {
+		pk, v, ok := it.Next()
+		if !ok {
+			break
+		}
+		part := int(pk[0])<<8 | int(pk[1])
+		segs[part] = kvenc.AppendPair(segs[part], pk[2:], v)
+		emitted++
+	}
+	if err := it.Err(); err != nil {
+		panic(fmt.Errorf("corrupt hop spill in map task %d: %w", h.chunk, err))
+	}
+	bytestore.Put(sorted)
+	for pi, s := range segs {
+		if len(s) > 0 {
+			parts[pi] = [][]byte{s}
+		}
+	}
+	h.emitted += emitted
+	h.spills++
+	h.res.units = append(h.res.units, h.r.publish(h.rt.P, h.res.store,
+		fmt.Sprintf("map%06d.push%d", h.chunk, h.spills), h.chunk, h.spills, parts))
+}
+
+// Finish implements collector: HOP publishes incrementally, so only
+// the last buffered spill remains.
+func (h *wallHopCollector) Finish() ([][][]byte, int64, int64) {
+	h.push()
+	return nil, h.mapped, h.emitted
+}
+
+// reduceResult is one reduce task's outcome.
+type reduceResult struct {
+	store  *storage.Store
+	ledger int64
+
+	outRecords int64
+	outBytes   int64
+	approxKeys int64
+	outputs    [][2]string
+	span       engine.Span
+	err        error
+}
+
+// outputWriter is the wall-clock reduce output sink: it counts records
+// and charges ReduceOutput writes in Page-sized batches, like the
+// engine's write-behind queue.
+type outputWriter struct {
+	p       substrate.Proc
+	st      *storage.Store
+	res     *reduceResult
+	flushAt int64
+	collect bool
+	pending int64
+}
+
+// Emit implements mr.OutputWriter.
+func (w *outputWriter) Emit(key, value []byte) {
+	sz := int64(len(key) + len(value) + 2)
+	w.res.outRecords++
+	w.res.outBytes += sz
+	if w.collect {
+		w.res.outputs = append(w.res.outputs, [2]string{string(key), string(value)})
+	}
+	w.pending += sz
+	if w.pending >= w.flushAt {
+		w.flush()
+	}
+}
+
+func (w *outputWriter) flush() {
+	if w.pending > 0 {
+		w.st.ChargeOutputWrite(w.p, w.pending)
+		w.pending = 0
+	}
+}
+
+// snapshotWriter sinks approximate HOP snapshot output: records count
+// separately from the final answers, bytes are written back like
+// reduce output.
+type snapshotWriter struct {
+	r       *run
+	p       substrate.Proc
+	st      *storage.Store
+	pending int64
+}
+
+// Emit implements mr.OutputWriter.
+func (w *snapshotWriter) Emit(key, value []byte) {
+	w.r.snapshotRecords.Add(1)
+	w.pending += int64(len(key) + len(value) + 2)
+}
+
+func (w *snapshotWriter) flush() {
+	if w.pending > 0 {
+		w.st.ChargeOutputWrite(w.p, w.pending)
+		w.pending = 0
+	}
+}
+
+// runReduceTask executes one reduce task: consume every cached shuffle
+// unit's partition in fixed order through the platform reducer, then
+// finish. The map barrier has already advanced the watermark to the
+// global maximum, exactly the horizon reference.RunWithWatermarks
+// reduces under.
+func (r *run) runReduceTask(ridx, node int) (res *reduceResult) {
+	res = &reduceResult{}
+	defer func() {
+		if rec := recover(); rec != nil {
+			res.err = fmt.Errorf("realexec: reduce task %d: %v", ridx, rec)
+		}
+	}()
+	p := substrate.NewWallProc(r.start)
+	taskStart := p.Now()
+	st := r.newStore(node)
+	res.store = st
+	rt := r.newRuntime(p, st, &res.ledger)
+	q := r.newQ()
+	if wm, ok := q.(mr.Watermarker); ok && r.hasWM {
+		wm.AdvanceWatermark(r.globalWM)
+	}
+	cfg := &r.spec.Cluster
+	model := r.model
+	out := &outputWriter{p: p, st: st, res: res, flushAt: cfg.Page, collect: r.spec.CollectOutput}
+
+	var smr *sortmerge.Reducer
+	var mrh *core.MRHashReducer
+	var inch *core.INCHashReducer
+	var dinch *core.DINCHashReducer
+	prefix := fmt.Sprintf("r%03d", ridx)
+	switch r.spec.Platform {
+	case engine.SortMerge, engine.HOP:
+		smr = sortmerge.NewReducer(rt, q, sortmerge.ReducerConfig{
+			Prefix:      prefix,
+			Buffer:      cfg.ReduceBuffer,
+			MergeFactor: cfg.MergeFactor,
+			ReadSegment: cfg.ReadSegment,
+		})
+	case engine.MRHash:
+		mrh = core.NewMRHashReducer(rt, q, core.MRHashConfig{
+			Prefix:        prefix,
+			MemBudget:     cfg.ReduceBuffer,
+			Page:          cfg.Page,
+			ReadSegment:   cfg.ReadSegment,
+			ExpectedBytes: r.expectedReducerBytes(),
+		})
+	case engine.INCHash:
+		inch = core.NewINCHashReducer(rt, q, core.INCHashConfig{
+			Prefix:             prefix,
+			MemBudget:          cfg.ReduceBuffer,
+			Page:               cfg.Page,
+			ReadSegment:        cfg.ReadSegment,
+			ExpectedStateBytes: r.expectedReducerStateBytes(),
+		}, out)
+	case engine.DINCHash:
+		dinch = core.NewDINCHashReducer(rt, q, core.DINCHashConfig{
+			Prefix:               prefix,
+			MemBudget:            cfg.ReduceBuffer,
+			Page:                 cfg.Page,
+			ReadSegment:          cfg.ReadSegment,
+			ExpectedDistinctKeys: r.spec.Hints.DistinctKeys / int64(r.numReducers),
+			KeyBytes:             16,
+			CoverageThreshold:    r.spec.CoverageThreshold,
+			ScanEvery:            r.spec.ScanEvery,
+		}, out)
+	}
+
+	// Shuffle loop over the cached units. Every fetch is served from
+	// memory; the map barrier pins the progress fraction at 1, so HOP
+	// snapshots all fire after the first consumed unit — deterministic
+	// for any worker count.
+	nextSnap := r.spec.SnapshotEvery
+	for _, u := range r.units {
+		segs := u.parts[ridx]
+		size := u.partBytes[ridx]
+		if size > 0 {
+			r.memFetches.Add(1)
+			var records int64
+			switch {
+			case smr != nil:
+				for _, seg := range segs {
+					records += int64(kvenc.Count(seg))
+					smr.Consume(seg)
+				}
+				rt.ChargeCPU(model.CPUOps(model.CPUParseByte, size))
+			default:
+				for _, seg := range segs {
+					it := kvenc.NewIterator(seg)
+					for {
+						k, v, more := it.Next()
+						if !more {
+							break
+						}
+						records++
+						switch {
+						case mrh != nil:
+							mrh.Consume(k, v)
+						case inch != nil:
+							inch.Consume(k, v)
+						default:
+							dinch.Consume(k, v)
+						}
+					}
+					if err := it.Err(); err != nil {
+						panic(fmt.Errorf("corrupt shuffle segment from map task %d: %w", u.chunk, err))
+					}
+				}
+				per := model.CPUHashInsert
+				if r.spec.Platform.Incremental() {
+					per += model.CPUCombine
+				}
+				rt.ChargeCPU(model.CPUOps(per, records))
+			}
+		}
+		r.fetchesDone.Add(1)
+
+		if smr != nil && r.spec.SnapshotEvery > 0 {
+			for nextSnap < 1 {
+				snap := &snapshotWriter{r: r, p: p, st: st}
+				smr.Snapshot(snap)
+				snap.flush()
+				nextSnap += r.spec.SnapshotEvery
+			}
+		}
+		if smr != nil && smr.Tree().NeedsMerge() {
+			for smr.Tree().NeedsMerge() {
+				smr.Tree().MergeOnce(p, smr.Charger())
+			}
+		}
+	}
+
+	switch {
+	case smr != nil:
+		smr.PrepareFinal()
+		smr.Finish(out)
+	case mrh != nil:
+		mrh.Finish(out)
+	case inch != nil:
+		inch.Finish()
+	default:
+		dinch.Finish()
+		res.approxKeys = dinch.ApproxKeys()
+	}
+	out.flush()
+	res.span = engine.Span{
+		Name: fmt.Sprintf("reduce%03d", ridx), Kind: "reduce", Node: node,
+		Start: time.Duration(taskStart), End: time.Duration(p.Now()),
+	}
+	return res
+}
+
+// expectedReducerBytes estimates |D_r| from the input size and Km.
+func (r *run) expectedReducerBytes() int64 {
+	return int64(float64(r.inputBytesEst) * r.spec.Hints.Km / float64(r.numReducers))
+}
+
+// expectedReducerStateBytes estimates Δ at one reducer.
+func (r *run) expectedReducerStateBytes() int64 {
+	stateSize := int64(64)
+	if inc, ok := r.spec.Query.(mr.Incremental); ok {
+		stateSize = int64(inc.StateSize() + 24)
+	}
+	return r.spec.Hints.DistinctKeys * stateSize / int64(r.numReducers)
+}
+
+// report assembles the engine.Report. All answer-stable fields are sums
+// of per-task integers combined in task order, identical for any worker
+// count; RunningTime, MapFinishTime, WallTime, and Spans are measured
+// wall time.
+func (r *run) report(mapRes []*mapResult, redRes []*reduceResult, mapFinish time.Duration, workers int) *engine.Report {
+	m := r.model
+	nodes := int64(r.spec.Cluster.Nodes)
+	var c storage.Counters
+	var mapCPU, reduceCPU int64
+	rep := &engine.Report{
+		Query:         r.spec.Query.Name(),
+		Platform:      r.spec.Platform.String(),
+		MapFinishTime: mapFinish,
+	}
+	for _, mres := range mapRes {
+		c.Add(mres.store.Counters())
+		mapCPU += mres.ledger
+		rep.MapInputRecords += mres.mapped
+		rep.MapOutputRecords += mres.emitted
+		rep.QuarantinedRecords += mres.quarantined
+		rep.IORetries += mres.store.IORetries()
+		rep.CorruptFramesDetected += mres.store.CorruptFramesDetected()
+		rep.Spans = append(rep.Spans, mres.span)
+	}
+	for _, rres := range redRes {
+		c.Add(rres.store.Counters())
+		reduceCPU += rres.ledger
+		rep.OutputRecords += rres.outRecords
+		rep.ApproxKeys += rres.approxKeys
+		rep.IORetries += rres.store.IORetries()
+		rep.CorruptFramesDetected += rres.store.CorruptFramesDetected()
+		rep.Outputs = append(rep.Outputs, rres.outputs...)
+		rep.Spans = append(rep.Spans, rres.span)
+	}
+	rep.MapCPUPerNode = time.Duration(mapCPU / nodes)
+	rep.ReduceCPUPerNode = time.Duration(reduceCPU / nodes)
+	rep.InputBytes = m.LogicalBytes(c.ReadBytes[storage.MapInput])
+	rep.MapSpillBytes = m.LogicalBytes(c.WrittenBytes[storage.MapSpill])
+	rep.MapOutputBytes = m.LogicalBytes(c.WrittenBytes[storage.MapOutput])
+	rep.ReduceSpillBytes = m.LogicalBytes(c.WrittenBytes[storage.ReduceSpill])
+	rep.OutputBytes = m.LogicalBytes(c.WrittenBytes[storage.ReduceOutput])
+	rep.TotalIOBytes = m.LogicalBytes(c.TotalBytes())
+	rep.TotalIORequests = c.TotalReqs()
+	rep.MemShuffleFetches = r.memFetches.Load()
+	rep.SnapshotRecords = r.snapshotRecords.Load()
+	for i := 0; i < int(storage.NumIOClasses); i++ {
+		rep.ChecksumOverheadByClass[i] = m.LogicalBytes(c.OverheadBytes[i])
+		rep.ChecksumOverheadBytes += rep.ChecksumOverheadByClass[i]
+	}
+	rep.RunningTime = time.Since(r.start)
+	rep.WallTime = rep.RunningTime
+	rep.Workers = workers
+	return rep
+}

@@ -1,0 +1,287 @@
+package realexec_test
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/engine"
+	"repro/internal/mr"
+	"repro/internal/queries"
+	"repro/internal/realexec"
+	"repro/internal/workload"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden real-backend Report snapshots")
+
+func testModel() cost.Model { return cost.Default(1.0 / 4096) }
+
+// testCluster is the same small 3-node cluster the engine's golden
+// tests use, so the two substrates' snapshots stay comparable.
+func testCluster(m cost.Model) engine.ClusterConfig {
+	c := engine.PaperCluster(m)
+	c.Nodes = 3
+	c.Cores = 2
+	c.MapSlots = 2
+	c.ReduceSlots = 2
+	c.R = 2
+	c.ProgressInterval = 300 * time.Millisecond
+	return c
+}
+
+// testClicks builds a small deterministic click stream.
+func testClicks(t testing.TB, bytes, chunk int64) *workload.ClickStream {
+	t.Helper()
+	spec := workload.DefaultClickSpec(bytes, chunk, 77)
+	spec.Users = 400
+	spec.URLs = 100
+	spec.Duration = 2 * time.Hour
+	spec.Jitter = time.Second
+	return workload.NewClickStream(spec)
+}
+
+// stableReport strips the wall-clock fields from a real-backend Report,
+// leaving the answer-stable subset: all record counts, logical I/O
+// volumes, CPU ledgers, and collected outputs are identical for any
+// worker count and any host; only the measured times and the pool-size
+// echo vary.
+func stableReport(rep *engine.Report) *engine.Report {
+	s := *rep
+	s.RunningTime = 0
+	s.MapFinishTime = 0
+	s.WallTime = 0
+	s.Workers = 0
+	s.Spans = nil
+	s.Samples = nil
+	s.Progress = nil
+	return &s
+}
+
+// runReal runs a job on the wall-clock backend, failing the test on
+// error.
+func runReal(t testing.TB, job engine.JobSpec, newQ func() mr.Query, workers int) *engine.Report {
+	t.Helper()
+	rep, err := realexec.Run(realexec.Spec{Job: job, NewQuery: newQ, Workers: workers})
+	if err != nil {
+		t.Fatalf("real backend (%d workers): %v", workers, err)
+	}
+	return rep
+}
+
+// goldenJob is the canonical clickcount job of the engine's golden
+// suite, with outputs collected so the snapshot pins the answer itself,
+// not just its counters.
+func goldenJob(t testing.TB, pl engine.Platform) engine.JobSpec {
+	t.Helper()
+	m := testModel()
+	cl := testCluster(m)
+	cl.ProgressInterval = 2 * time.Second
+	return engine.JobSpec{
+		Input:         testClicks(t, 96<<10, 12<<10),
+		Platform:      pl,
+		Cluster:       cl,
+		Hints:         mr.Hints{Km: 0.1, DistinctKeys: 400},
+		Seed:          1,
+		CollectOutput: true,
+	}
+}
+
+// TestGoldenRealReports snapshots the answer-stable Report subset of
+// the canonical clickcount job on every platform, run on the
+// wall-clock backend. Any change to a platform's data path, the CPU
+// charging, or the shuffle accounting shows up here as a field-level
+// diff; run with -update to accept an intentional change.
+func TestGoldenRealReports(t *testing.T) {
+	for _, pl := range []engine.Platform{engine.SortMerge, engine.HOP, engine.MRHash, engine.INCHash, engine.DINCHash} {
+		t.Run(pl.String(), func(t *testing.T) {
+			rep := runReal(t, goldenJob(t, pl), queries.NewClickCount, 4)
+			got, err := json.MarshalIndent(stableReport(rep), "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			path := filepath.Join("testdata", "golden", "real", pl.String()+".json")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d bytes)", path, len(got))
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if string(got) != string(want) {
+				t.Errorf("report drifted from %s:\n%s", path, diffLines(string(want), string(got)))
+			}
+		})
+	}
+}
+
+// diffLines renders a compact line-level diff (golden vs. got).
+func diffLines(want, got string) string {
+	w := strings.Split(want, "\n")
+	g := strings.Split(got, "\n")
+	var b strings.Builder
+	for i := 0; i < len(w) || i < len(g); i++ {
+		var wl, gl string
+		if i < len(w) {
+			wl = w[i]
+		}
+		if i < len(g) {
+			gl = g[i]
+		}
+		if wl == gl {
+			continue
+		}
+		if wl != "" {
+			b.WriteString("- " + wl + "\n")
+		}
+		if gl != "" {
+			b.WriteString("+ " + gl + "\n")
+		}
+	}
+	return b.String()
+}
+
+// sortedOutputs canonicalizes collected outputs for comparison.
+func sortedOutputs(rep *engine.Report) []string {
+	out := make([]string, 0, len(rep.Outputs))
+	for _, kv := range rep.Outputs {
+		out = append(out, kv[0]+"\t"+kv[1])
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestWorkerCountConformance runs watermarked sessionization and
+// early-emitting frequent-users on every platform with 1, 4, and 8
+// workers and requires the stable Report — every counter, every byte
+// volume, and the raw output sequence — to be bit-for-bit identical.
+// This is the determinism contract of the real backend: the goroutine
+// pool size changes only wall-clock time. The CI backend-real job runs
+// this test under the race detector.
+func TestWorkerCountConformance(t *testing.T) {
+	m := testModel()
+	input := testClicks(t, 96<<10, 12<<10)
+	jobs := []struct {
+		name string
+		newQ func() mr.Query
+		km   float64
+	}{
+		{"sessionization", func() mr.Query { return queries.NewSessionization(5*time.Minute, 512, 5*time.Second) }, 1.15},
+		{"frequsers", func() mr.Query { return queries.NewFrequentUsers(4) }, 0.01},
+	}
+	for _, pl := range []engine.Platform{engine.SortMerge, engine.HOP, engine.MRHash, engine.INCHash, engine.DINCHash} {
+		for _, jb := range jobs {
+			t.Run(fmt.Sprintf("%s/%s", pl.String(), jb.name), func(t *testing.T) {
+				job := engine.JobSpec{
+					Input:         input,
+					Platform:      pl,
+					Cluster:       testCluster(m),
+					Hints:         mr.Hints{Km: jb.km, DistinctKeys: 400},
+					Seed:          1,
+					CollectOutput: true,
+				}
+				var base *engine.Report
+				var baseJSON []byte
+				for _, workers := range []int{1, 4, 8} {
+					rep := runReal(t, job, jb.newQ, workers)
+					if rep.Workers != workers {
+						t.Fatalf("Workers = %d, want %d", rep.Workers, workers)
+					}
+					got, err := json.Marshal(stableReport(rep))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if base == nil {
+						base, baseJSON = rep, got
+						continue
+					}
+					if string(got) != string(baseJSON) {
+						t.Errorf("%d workers diverged from 1 worker:\n%s",
+							workers, diffLines(string(baseJSON), string(got)))
+					}
+					a, b := sortedOutputs(base), sortedOutputs(rep)
+					if len(a) != len(b) {
+						t.Fatalf("%d workers: %d outputs, 1 worker: %d", workers, len(b), len(a))
+					}
+					for i := range a {
+						if a[i] != b[i] {
+							t.Fatalf("%d workers: output %d = %q, 1 worker: %q", workers, i, b[i], a[i])
+						}
+					}
+				}
+				if base != nil && len(base.Outputs) == 0 {
+					t.Fatal("no outputs collected; the conformance check is vacuous")
+				}
+			})
+		}
+	}
+}
+
+// TestRealBackendRejectsFaultPlans pins the substrate boundary: fault
+// plans and checkpointing are simulation-only features, and the real
+// backend must refuse them instead of silently ignoring them.
+func TestRealBackendRejectsFaultPlans(t *testing.T) {
+	job := goldenJob(t, engine.INCHash)
+	job.Faults = engine.FaultPlan{KillNodes: map[int]time.Duration{1: time.Minute}}
+	if _, err := realexec.Run(realexec.Spec{Job: job, NewQuery: queries.NewClickCount, Workers: 2}); err == nil {
+		t.Error("fault plan accepted by the real backend")
+	}
+	job = goldenJob(t, engine.INCHash)
+	job.CheckpointEvery = time.Minute
+	if _, err := realexec.Run(realexec.Spec{Job: job, NewQuery: queries.NewClickCount, Workers: 2}); err == nil {
+		t.Error("checkpointing accepted by the real backend")
+	}
+	if _, err := realexec.Run(realexec.Spec{Job: goldenJob(t, engine.INCHash)}); err == nil {
+		t.Error("missing NewQuery accepted by the real backend")
+	}
+}
+
+// TestRealBackendMemoryShuffle asserts the M3R property: every shuffle
+// fetch is served from memory, none from disk.
+func TestRealBackendMemoryShuffle(t *testing.T) {
+	rep := runReal(t, goldenJob(t, engine.SortMerge), queries.NewClickCount, 4)
+	if rep.MemShuffleFetches == 0 {
+		t.Error("MemShuffleFetches = 0, want > 0")
+	}
+	if rep.DiskShuffleFetches != 0 {
+		t.Errorf("DiskShuffleFetches = %d, want 0", rep.DiskShuffleFetches)
+	}
+}
+
+// BenchmarkRealBackendSessionization runs the paper's sessionization
+// workload end to end on the wall-clock backend with an 8-goroutine
+// pool — the real-execution counterpart of the DES job benchmarks in
+// cmd/benchtables.
+func BenchmarkRealBackendSessionization(b *testing.B) {
+	m := testModel()
+	input := testClicks(b, 512<<10, 64<<10)
+	job := engine.JobSpec{
+		Input:    input,
+		Platform: engine.INCHash,
+		Cluster:  testCluster(m),
+		Hints:    mr.Hints{Km: 1.15, DistinctKeys: 400},
+		Seed:     1,
+	}
+	newQ := func() mr.Query { return queries.NewSessionization(5*time.Minute, 512, 5*time.Second) }
+	var bytes int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := runReal(b, job, newQ, 8)
+		bytes = rep.InputBytes
+	}
+	b.SetBytes(bytes)
+}

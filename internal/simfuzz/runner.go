@@ -9,6 +9,8 @@ import (
 
 	"repro/internal/dfs"
 	"repro/internal/engine"
+	"repro/internal/mr"
+	"repro/internal/realexec"
 	"repro/internal/reference"
 )
 
@@ -89,6 +91,14 @@ func runPlatform(v *Verdict, c *Case, pl engine.Platform, input dfs.Input, oracl
 	checkAnswers(v, c, name+"/clean", clean, oracle)
 	checkReport(v, c, name+"/clean", clean, false)
 
+	// Sixth differential leg: the wall-clock backend. Every fault-free
+	// case must produce the same canonical answers on real goroutines
+	// with an in-memory shuffle as the DES run and the oracle (fault
+	// plans are simulation-only, so faulted cases skip it).
+	if !c.faulted() {
+		checkRealBackend(v, c, name, pl, input, clean, oracle)
+	}
+
 	base, kind := clean, "clean"
 	if c.faulted() {
 		faulted, err := safeRun(c.jobSpec(pl, input, 1, true, clean.MapFinishTime))
@@ -117,6 +127,62 @@ func runPlatform(v *Verdict, c *Case, pl engine.Platform, input dfs.Input, oracl
 			v.addf(name+"/workers", "workers",
 				"%s report with Workers=%d differs from serial run in field %s", kind, c.Workers2, diff)
 		}
+	}
+}
+
+// safeRunReal runs the spec on the wall-clock backend, converting
+// panics into errors like safeRun.
+func safeRunReal(spec realexec.Spec) (rep *engine.Report, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return realexec.Run(spec)
+}
+
+// checkRealBackend runs the case on the wall-clock backend and holds
+// its canonical answers to the oracle (and hence, transitively, to the
+// DES clean run, already checked against the same oracle). Raw record
+// counts are compared only where both substrates are bound to agree:
+// early-emission re-counts depend on spill timing, which legitimately
+// differs between interleaved DES execution and the real backend's
+// map barrier, but input-side accounting and quarantine decisions are
+// content-determined and must match exactly.
+func checkRealBackend(v *Verdict, c *Case, name string, pl engine.Platform, input dfs.Input, clean *engine.Report, oracle []string) {
+	label := name + "/real"
+	workers := c.Workers2
+	if workers < 1 {
+		workers = 1
+	}
+	rep, err := safeRunReal(realexec.Spec{
+		Job:      c.jobSpec(pl, input, 1, false, 0),
+		NewQuery: func() mr.Query { return c.newQuery(false) },
+		Workers:  workers,
+	})
+	if err != nil {
+		v.addf(label, "run", "workers=%d: %v", workers, err)
+		return
+	}
+	checkAnswers(v, c, label, rep, oracle)
+	if rep.MapInputRecords != clean.MapInputRecords {
+		v.addf(label, "accounting", "MapInputRecords=%d, DES run mapped %d",
+			rep.MapInputRecords, clean.MapInputRecords)
+	}
+	if rep.QuarantinedRecords != clean.QuarantinedRecords {
+		v.addf(label, "accounting", "QuarantinedRecords=%d, DES run quarantined %d",
+			rep.QuarantinedRecords, clean.QuarantinedRecords)
+	}
+	if rep.DiskShuffleFetches != 0 {
+		v.addf(label, "accounting", "in-memory shuffle served %d fetches from disk",
+			rep.DiskShuffleFetches)
+	}
+	if rep.OutputRecords != int64(len(rep.Outputs)) {
+		v.addf(label, "accounting", "OutputRecords=%d but %d records collected",
+			rep.OutputRecords, len(rep.Outputs))
+	}
+	if rep.Workers != workers {
+		v.addf(label, "accounting", "requested %d workers, report says %d", workers, rep.Workers)
 	}
 }
 

@@ -27,8 +27,8 @@ import (
 	"repro/internal/kvenc"
 	"repro/internal/merge"
 	"repro/internal/mr"
-	"repro/internal/sim"
 	"repro/internal/storage"
+	"repro/internal/substrate"
 )
 
 // appendPrefixKey appends the 2-byte big-endian partition id followed
@@ -49,7 +49,7 @@ func splitPrefixed(pk []byte) (part int, key []byte) {
 type charger struct{ rt *core.Runtime }
 
 // ChargeMerge implements merge.CPUCharger: one pass over physRecords.
-func (c charger) ChargeMerge(_ *sim.Proc, physRecords int64) {
+func (c charger) ChargeMerge(_ substrate.Proc, physRecords int64) {
 	c.rt.ChargeOps(c.rt.Model.CPUMergeRecord, physRecords)
 }
 

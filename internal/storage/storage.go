@@ -24,6 +24,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/frame"
 	"repro/internal/sim"
+	"repro/internal/substrate"
 )
 
 // IOClass labels every byte moved through a disk.
@@ -227,11 +228,13 @@ func hit(h uint64, rate float64) bool {
 func Roll(rate float64, vals ...int64) bool { return hit(Hash64(vals...), rate) }
 
 // Store is one node's storage: two devices sharing nothing, each a
-// capacity-1 sim resource (one outstanding request at a time, FIFO).
+// substrate.Timer — on the DES a capacity-1 sim resource (one
+// outstanding request at a time, FIFO), on the real backend a plain
+// busy-time accumulator.
 type Store struct {
 	node     int
 	model    cost.Model
-	arms     [2]*sim.Resource
+	arms     [2]substrate.Timer
 	counters Counters
 	files    map[string]*File
 	// Intermediate decides the device for intermediate data (spills,
@@ -258,14 +261,33 @@ type Store struct {
 	corruptFrames int64
 }
 
-// NewStore creates a node-local store.
+// NewStore creates a node-local store on the DES substrate: the
+// device arms are FIFO sim resources and every request parks the
+// calling process for its charged service time.
 func NewStore(k *sim.Kernel, node int, model cost.Model) *Store {
 	return &Store{
 		node:  node,
 		model: model,
-		arms: [2]*sim.Resource{
+		arms: [2]substrate.Timer{
 			sim.NewResource(k, fmt.Sprintf("n%d.hdd", node), 1),
 			sim.NewResource(k, fmt.Sprintf("n%d.ssd", node), 1),
+		},
+		files:        make(map[string]*File),
+		Intermediate: cost.HDD,
+	}
+}
+
+// NewWallStore creates a node-local store on the wall-clock substrate:
+// the device arms accumulate the charged virtual time without delaying
+// the caller. A store is single-goroutine (the real backend gives each
+// task its own), so the counters need no locking.
+func NewWallStore(node int, model cost.Model) *Store {
+	return &Store{
+		node:  node,
+		model: model,
+		arms: [2]substrate.Timer{
+			substrate.NewWallTimer(),
+			substrate.NewWallTimer(),
 		},
 		files:        make(map[string]*File),
 		Intermediate: cost.HDD,
@@ -292,8 +314,8 @@ func (s *Store) NoteOverhead(class IOClass, n int64) {
 	s.counters.OverheadBytes[class] += n
 }
 
-// Arm returns the sim resource for the device (for metrics sampling).
-func (s *Store) Arm(dev cost.Device) *sim.Resource { return s.arms[dev] }
+// Arm returns the device's timer (for metrics sampling).
+func (s *Store) Arm(dev cost.Device) substrate.Timer { return s.arms[dev] }
 
 // LiveBytes returns the physical bytes currently held in files.
 func (s *Store) LiveBytes() int64 { return s.liveBytes }
@@ -329,7 +351,7 @@ func (s *Store) Delete(f *File) {
 
 // Append writes data to the end of f as a single request (one frame),
 // charging seek + transfer on the device arm.
-func (s *Store) Append(p *sim.Proc, f *File, data []byte, class IOClass) {
+func (s *Store) Append(p substrate.Proc, f *File, data []byte, class IOClass) {
 	s.AppendFrames(p, f, data, class, nil)
 }
 
@@ -339,7 +361,7 @@ func (s *Store) Append(p *sim.Proc, f *File, data []byte, class IOClass) {
 // individually verifiable without extra write requests. lens must sum
 // to len(data); nil means one frame covering all of data. Zero-length
 // segments record no frame.
-func (s *Store) AppendFrames(p *sim.Proc, f *File, data []byte, class IOClass, lens []int64) {
+func (s *Store) AppendFrames(p substrate.Proc, f *File, data []byte, class IOClass, lens []int64) {
 	var ovh int64
 	if s.Checksums {
 		if lens == nil {
@@ -403,7 +425,7 @@ func (s *Store) verifySpans(f *File, off, end int64) (ovh int64, err error) {
 // the frames it touches when checksums are on. Checksum failure
 // panics Corruption: internal read paths (spills, buckets, merges)
 // recover it at attempt boundaries and restart.
-func (s *Store) ReadAt(p *sim.Proc, f *File, off, n int64, class IOClass) []byte {
+func (s *Store) ReadAt(p substrate.Proc, f *File, off, n int64, class IOClass) []byte {
 	b, err := s.ReadAtChecked(p, f, off, n, class)
 	if err != nil {
 		panic(&Corruption{Node: s.node, File: f.name, Class: class, Kind: "checksum"})
@@ -416,7 +438,7 @@ func (s *Store) ReadAt(p *sim.Proc, f *File, off, n int64, class IOClass) []byte
 // restart (the shuffle re-fetches, then re-executes the map task).
 // The full request is charged either way: the bytes moved before the
 // mismatch was noticed.
-func (s *Store) ReadAtChecked(p *sim.Proc, f *File, off, n int64, class IOClass) ([]byte, error) {
+func (s *Store) ReadAtChecked(p substrate.Proc, f *File, off, n int64, class IOClass) ([]byte, error) {
 	if off+n > int64(len(f.data)) {
 		panic(fmt.Sprintf("storage: read past EOF of %s (%d+%d > %d)", f.name, off, n, len(f.data)))
 	}
@@ -452,7 +474,7 @@ func (s *Store) VerifyFile(f *File, class IOClass) {
 // ReadAll reads the whole file in requests of at most segment physical
 // bytes, modelling a bounded read buffer. segment ≤ 0 means one
 // request.
-func (s *Store) ReadAll(p *sim.Proc, f *File, segment int64, class IOClass) []byte {
+func (s *Store) ReadAll(p substrate.Proc, f *File, segment int64, class IOClass) []byte {
 	size := int64(len(f.data))
 	if segment <= 0 || segment >= size {
 		if size == 0 {
@@ -474,7 +496,7 @@ func (s *Store) ReadAll(p *sim.Proc, f *File, segment int64, class IOClass) []by
 // the fly rather than stored (the DFS synthesizes chunk bytes): it
 // charges the HDD arm and the MapInput counters without touching any
 // file.
-func (s *Store) ChargeInputRead(p *sim.Proc, physBytes int64) {
+func (s *Store) ChargeInputRead(p substrate.Proc, physBytes int64) {
 	s.request(p, nil, cost.HDD, physBytes, MapInput)
 	s.counters.ReadBytes[MapInput] += physBytes
 	s.counters.ReadReqs[MapInput]++
@@ -482,7 +504,7 @@ func (s *Store) ChargeInputRead(p *sim.Proc, physBytes int64) {
 
 // ChargeOutputWrite accounts for job output written back to the DFS
 // without retaining the bytes.
-func (s *Store) ChargeOutputWrite(p *sim.Proc, physBytes int64) {
+func (s *Store) ChargeOutputWrite(p substrate.Proc, physBytes int64) {
 	s.request(p, nil, cost.HDD, physBytes, ReduceOutput)
 	s.counters.WrittenBytes[ReduceOutput] += physBytes
 	s.counters.WriteReqs[ReduceOutput]++
@@ -493,7 +515,7 @@ func (s *Store) ChargeOutputWrite(p *sim.Proc, physBytes int64) {
 // the checkpoint is modelled as replicated off-node (it must survive
 // the node), so the engine keeps the recoverable image itself and the
 // store only charges the local write leg.
-func (s *Store) ChargeCheckpointWrite(p *sim.Proc, physBytes int64) {
+func (s *Store) ChargeCheckpointWrite(p substrate.Proc, physBytes int64) {
 	if physBytes <= 0 {
 		return
 	}
@@ -504,7 +526,7 @@ func (s *Store) ChargeCheckpointWrite(p *sim.Proc, physBytes int64) {
 
 // ChargeCheckpointRead accounts for a restarted reducer reading back
 // physBytes of checkpoint state onto this node.
-func (s *Store) ChargeCheckpointRead(p *sim.Proc, physBytes int64) {
+func (s *Store) ChargeCheckpointRead(p substrate.Proc, physBytes int64) {
 	if physBytes <= 0 {
 		return
 	}
@@ -519,7 +541,7 @@ func (s *Store) ChargeCheckpointRead(p *sim.Proc, physBytes int64) {
 // exhausting the budget escalates to Corruption("io"), recovered at
 // attempt boundaries like a checksum failure. f may be nil
 // (charge-only requests with no retained file).
-func (s *Store) request(p *sim.Proc, f *File, dev cost.Device, physBytes int64, class IOClass) {
+func (s *Store) request(p substrate.Proc, f *File, dev cost.Device, physBytes int64, class IOClass) {
 	if fl := s.faults; fl != nil && fl.IOErrorRate > 0 && fl.Classes[class] {
 		backoff := ioRetryBase
 		for try := 1; fl.window(p.Now()); try++ {
@@ -546,9 +568,9 @@ func (s *Store) request(p *sim.Proc, f *File, dev cost.Device, physBytes int64, 
 }
 
 // armUse occupies the device arm for d (stretched on slow nodes).
-func (s *Store) armUse(p *sim.Proc, dev cost.Device, d time.Duration) {
+func (s *Store) armUse(p substrate.Proc, dev cost.Device, d time.Duration) {
 	if s.SlowFactor > 1 {
 		d = time.Duration(float64(d) * s.SlowFactor)
 	}
-	p.Use(s.arms[dev], 1, d)
+	s.arms[dev].Use(p, 1, d)
 }

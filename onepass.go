@@ -43,6 +43,11 @@
 // goroutines while the discrete-event kernel schedules one simulated
 // process at a time. Reports are bit-for-bit identical for every pool
 // size (including 1); only wall-clock time changes.
+//
+// A second execution substrate runs the same five data paths on real
+// goroutines under wall-clock time with an M3R-style in-memory shuffle
+// (RunReal); its answers and counters are conformance-tested against
+// the simulation.
 package onepass
 
 import (
@@ -55,6 +60,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/mr"
 	"repro/internal/queries"
+	"repro/internal/realexec"
 	"repro/internal/workload"
 )
 
@@ -139,6 +145,20 @@ type (
 
 // Run executes a job to completion on the simulated cluster.
 func Run(job Job) (*Report, error) { return engine.Run(job) }
+
+// RunReal executes a fault-free job on the wall-clock backend: real
+// goroutines, real time, and an M3R-style in-memory shuffle, with the
+// same data paths and the same virtual-time CPU/I/O accounting as the
+// simulation. newQuery must build a fresh Query instance on every call
+// (queries carry per-task scratch state); workers sizes the goroutine
+// pool (0 or 1 = serial). The answer and every counter in the Report
+// are identical for any worker count and match the DES run; only
+// RunningTime, MapFinishTime, WallTime, and Spans are measured wall
+// time. Job.Query is ignored; fault plans and checkpointing are
+// simulation-only and rejected.
+func RunReal(job Job, newQuery func() Query, workers int) (*Report, error) {
+	return realexec.Run(realexec.Spec{Job: job, NewQuery: newQuery, Workers: workers})
+}
 
 // DefaultModel returns the calibrated cost model at the given scale
 // (physical bytes per logical byte; 1.0/256 means 1GB stands in for
