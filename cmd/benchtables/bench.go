@@ -223,6 +223,56 @@ func runBenchJSON(path string) error {
 				}
 			}
 		}},
+		{"job/SessionizationRealRecovery", 0, func(b *testing.B) {
+			// The same 16GB sessionization job on the wall-clock backend
+			// under the full recovery cocktail: a node killed halfway
+			// through the map phase, a 3x straggler with speculative
+			// backups, two injected map-attempt failures, 2% transient
+			// shuffle errors, and checkpointed incremental reducer state
+			// (INC-hash). The delta to SessionizationRealW8 is the
+			// measured price of recovery itself — re-executed maps,
+			// restarted reducers replaying their post-checkpoint suffix,
+			// and fetch-retry backoff.
+			m := onepass.DefaultModel(1.0 / 4096)
+			cluster := onepass.PaperCluster(m)
+			cluster.MergeFactor = 16
+			const users = 20_000
+			input := onepass.SyntheticClickStream(onepass.ClickStreamSpec{
+				PhysBytes: m.ScaleBytes(16e9),
+				ChunkPhys: m.ScaleBytes(64e6),
+				Seed:      42,
+				Users:     users,
+				UserSkew:  1.2,
+				URLs:      10_000,
+				URLSkew:   1.3,
+				Duration:  24 * time.Hour,
+				Jitter:    2 * time.Second,
+			})
+			newQ := func() onepass.Query {
+				return onepass.Sessionization(5*time.Minute, 512, 5*time.Second)
+			}
+			for i := 0; i < b.N; i++ {
+				_, err := onepass.RunReal(onepass.Job{
+					Input:    input,
+					Platform: onepass.INCHash,
+					Cluster:  cluster,
+					Hints:    onepass.Hints{Km: 1.15, DistinctKeys: users},
+					Faults: onepass.FaultPlan{
+						KillAtMapProgress: map[int]float64{1: 0.5},
+						SlowNodes:         map[int]float64{2: 3},
+						Speculate:         true,
+						MapFailures:       map[int]int{0: 1, 3: 1},
+						FailPoint:         0.5,
+						ShuffleErrorRate:  0.02,
+					},
+					CheckpointEvery: time.Millisecond,
+					ScanEvery:       4096,
+				}, newQ, 8)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 	}
 
 	rep := benchReport{

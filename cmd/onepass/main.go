@@ -12,8 +12,15 @@
 // -backend=real runs the job on real goroutines under wall-clock time
 // with an in-memory shuffle instead of the discrete-event simulation;
 // answers and counters match the simulated run, while the reported
-// times are measured. Fault-injection and checkpoint flags are
-// simulation-only.
+// times are measured. Fault-injection and checkpoint flags work on
+// both backends, with two syntax-level differences: -kill-node takes a
+// map-progress percentage on the real backend (1@60% kills node 1
+// once 60% of the map tasks finish) and a virtual time on the
+// simulation (1@2m30s), and transient errors are injected with
+// -shuffle-error-rate on the real backend versus -io-error-rate on
+// the simulation. A fault form the chosen backend cannot execute
+// (virtual-time kills or disk damage on real, progress kills or
+// shuffle errors on sim) fails up front with the reason.
 package main
 
 import (
@@ -47,7 +54,8 @@ func main() {
 		traceFlag   = flag.String("trace", "", "write a Chrome trace (chrome://tracing) of task spans to this file")
 		workersFlag = flag.Int("workers", 0, "compute-pool goroutines (0=GOMAXPROCS, 1=serial; results identical)")
 
-		killFlag = flag.String("kill-node", "", "crash nodes at virtual times, e.g. 9@2m30s,3@4m")
+		killFlag = flag.String("kill-node", "", "crash nodes: idx@virtual-time on sim (9@2m30s), idx@map-progress%% on real (9@60%%)")
+		shufFlag = flag.Float64("shuffle-error-rate", 0, "per-fetch probability of a transient shuffle-read error (real backend only)")
 		slowFlag = flag.String("slow-node", "", "slow nodes by a factor, e.g. 3@4 (node 3 runs 4x slower)")
 		failFlag = flag.String("fail-maps", "", "inject map-task failures, e.g. 0:2,7:1 (chunk:attempts)")
 		ckptFlag = flag.Duration("checkpoint-every", 0, "checkpoint incremental reducer state every virtual interval (0 = off)")
@@ -156,6 +164,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	faults.ShuffleErrorRate = *shufFlag
 	cluster.Checksums = *sumFlag
 	faults.Disk = onepass.DiskFaultPlan{
 		IOErrorRate: *ioErrFlag,
@@ -302,12 +311,28 @@ func parseFaults(kill, slow, fail string, speculate bool) (onepass.FaultPlan, er
 	for _, part := range splitList(kill) {
 		idxS, atS, ok := strings.Cut(part, "@")
 		if !ok {
-			return f, fmt.Errorf("bad -kill-node entry %q (want idx@duration)", part)
+			return f, fmt.Errorf("bad -kill-node entry %q (want idx@duration or idx@percent%%)", part)
 		}
-		idx, err1 := strconv.Atoi(idxS)
-		at, err2 := time.ParseDuration(atS)
-		if err1 != nil || err2 != nil {
-			return f, fmt.Errorf("bad -kill-node entry %q (want idx@duration)", part)
+		idx, err := strconv.Atoi(idxS)
+		if err != nil {
+			return f, fmt.Errorf("bad -kill-node entry %q (want idx@duration or idx@percent%%)", part)
+		}
+		// idx@60% anchors the kill on map progress (the real backend's
+		// trigger form); idx@2m30s on virtual time (the simulation's).
+		if pctS, ok := strings.CutSuffix(atS, "%"); ok {
+			pct, err := strconv.ParseFloat(pctS, 64)
+			if err != nil {
+				return f, fmt.Errorf("bad -kill-node entry %q (want idx@duration or idx@percent%%)", part)
+			}
+			if f.KillAtMapProgress == nil {
+				f.KillAtMapProgress = map[int]float64{}
+			}
+			f.KillAtMapProgress[idx] = pct / 100
+			continue
+		}
+		at, err := time.ParseDuration(atS)
+		if err != nil {
+			return f, fmt.Errorf("bad -kill-node entry %q (want idx@duration or idx@percent%%)", part)
 		}
 		if f.KillNodes == nil {
 			f.KillNodes = map[int]time.Duration{}

@@ -1,0 +1,186 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/queries"
+)
+
+// capabilitySpec is a minimal valid job for exercising validate() and
+// the backend capability split.
+func capabilitySpec(t *testing.T) JobSpec {
+	t.Helper()
+	m := cost.Default(1.0 / 4096)
+	cl := PaperCluster(m)
+	cl.Nodes = 3
+	return JobSpec{
+		Query:    queries.NewClickCount(),
+		Input:    testClicks(t, 32<<10, 8<<10),
+		Platform: INCHash,
+		Cluster:  cl,
+		Seed:     1,
+	}
+}
+
+// TestFaultPlanActiveEdgeCases pins Active()/risky() on the plan
+// shapes the real backend keys its fault path off: an empty plan is
+// inactive, each single trigger activates it, and a map-barrier kill
+// (fraction 1.0) — a plan that only becomes active after the map
+// phase completes — still counts as active up front.
+func TestFaultPlanActiveEdgeCases(t *testing.T) {
+	var empty FaultPlan
+	if empty.Active() {
+		t.Error("empty plan is Active")
+	}
+	if empty.risky() {
+		t.Error("empty plan is risky")
+	}
+	cases := []struct {
+		name  string
+		plan  FaultPlan
+		risky bool
+	}{
+		{"kill-nodes", FaultPlan{KillNodes: map[int]time.Duration{0: time.Second}}, true},
+		{"kill-at-progress", FaultPlan{KillAtMapProgress: map[int]float64{0: 0.5}}, true},
+		{"kill-at-barrier", FaultPlan{KillAtMapProgress: map[int]float64{0: 1.0}}, true},
+		{"map-failures", FaultPlan{MapFailures: map[int]int{0: 1}}, false},
+		{"reduce-failures", FaultPlan{ReduceFailures: map[int]int{0: 1}}, true},
+		{"slow-nodes", FaultPlan{SlowNodes: map[int]float64{0: 2}}, false},
+		{"speculate", FaultPlan{Speculate: true}, false},
+		{"shuffle-errors", FaultPlan{ShuffleErrorRate: 0.01}, false},
+		{"disk-only", FaultPlan{Disk: DiskFaultPlan{IOErrorRate: 0.01}}, false},
+	}
+	for _, c := range cases {
+		if !c.plan.Active() {
+			t.Errorf("%s: not Active", c.name)
+		}
+		if got := c.plan.risky(); got != c.risky {
+			t.Errorf("%s: risky = %v, want %v", c.name, got, c.risky)
+		}
+	}
+
+	// A zero-window disk plan (From == To == 0) means "no window
+	// bound", not "never": the plan is active and injection applies at
+	// any virtual time.
+	zw := FaultPlan{Disk: DiskFaultPlan{IOErrorRate: 0.01}}
+	if !zw.Active() {
+		t.Error("zero-window disk plan is not Active")
+	}
+	if !zw.Disk.windowNS(0) || !zw.Disk.windowNS(int64(time.Hour)) {
+		t.Error("zero-window disk plan does not apply at all times")
+	}
+	// A degenerate window (From == To > 0) is rejected by validate.
+	spec := capabilitySpec(t)
+	spec.Faults = FaultPlan{Disk: DiskFaultPlan{IOErrorRate: 0.01, From: time.Second, To: time.Second}}
+	if err := spec.Validate(); err == nil || !strings.Contains(err.Error(), "disk-fault window") {
+		t.Errorf("degenerate disk window validated: %v", err)
+	}
+}
+
+// TestValidateKillAtMapProgress pins the validation envelope of the
+// real-backend kill trigger.
+func TestValidateKillAtMapProgress(t *testing.T) {
+	cases := []struct {
+		name string
+		plan map[int]float64
+		want string // "" means valid
+	}{
+		{"mid-phase", map[int]float64{1: 0.5}, ""},
+		{"at-barrier", map[int]float64{1: 1.0}, ""},
+		{"zero-fraction", map[int]float64{1: 0}, "kill-at-progress fraction"},
+		{"over-one", map[int]float64{1: 1.01}, "kill-at-progress fraction"},
+		{"bad-node", map[int]float64{7: 0.5}, "kill-at-progress node index"},
+		{"negative-node", map[int]float64{-1: 0.5}, "kill-at-progress node index"},
+		{"no-survivor", map[int]float64{0: 0.5, 1: 0.5, 2: 0.5}, "at least one node must survive"},
+	}
+	for _, c := range cases {
+		spec := capabilitySpec(t)
+		spec.Faults.KillAtMapProgress = c.plan
+		err := spec.Validate()
+		if c.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error = %v, want substring %q", c.name, err, c.want)
+		}
+	}
+
+	spec := capabilitySpec(t)
+	spec.Faults.ShuffleErrorRate = 1.0
+	if err := spec.Validate(); err == nil || !strings.Contains(err.Error(), "shuffle-error rate") {
+		t.Errorf("shuffle-error rate 1.0 validated: %v", err)
+	}
+	spec = capabilitySpec(t)
+	spec.Faults.ShuffleErrorRate = -0.1
+	if err := spec.Validate(); err == nil || !strings.Contains(err.Error(), "shuffle-error rate") {
+		t.Errorf("negative shuffle-error rate validated: %v", err)
+	}
+
+	// HOP rejects the new triggers like every other fault feature.
+	spec = capabilitySpec(t)
+	spec.Platform = HOP
+	spec.Faults.KillAtMapProgress = map[int]float64{1: 0.5}
+	if err := spec.Validate(); err == nil || !strings.Contains(err.Error(), "hop platform") {
+		t.Errorf("HOP accepted a progress-kill plan: %v", err)
+	}
+}
+
+// TestBackendCapabilitySplit pins SimUnsupported/RealUnsupported: each
+// backend names exactly the trigger primitives only the other clock
+// supports, and a plan both can run reports supported on both.
+func TestBackendCapabilitySplit(t *testing.T) {
+	both := capabilitySpec(t)
+	both.Faults = FaultPlan{
+		MapFailures:    map[int]int{0: 1},
+		ReduceFailures: map[int]int{0: 1},
+		SlowNodes:      map[int]float64{1: 2},
+		Speculate:      true,
+	}
+	both.CheckpointEvery = time.Second
+	if msg := both.SimUnsupported(); msg != "" {
+		t.Errorf("shared plan SimUnsupported = %q, want \"\"", msg)
+	}
+	if msg := both.RealUnsupported(); msg != "" {
+		t.Errorf("shared plan RealUnsupported = %q, want \"\"", msg)
+	}
+
+	realOnly := capabilitySpec(t)
+	realOnly.Faults = FaultPlan{
+		KillAtMapProgress: map[int]float64{1: 0.5},
+		ShuffleErrorRate:  0.01,
+	}
+	if msg := realOnly.SimUnsupported(); !strings.Contains(msg, "KillAtMapProgress") {
+		t.Errorf("SimUnsupported = %q, want the progress-kill diagnosis", msg)
+	}
+	if msg := realOnly.RealUnsupported(); msg != "" {
+		t.Errorf("real-only plan RealUnsupported = %q, want \"\"", msg)
+	}
+	// The DES refuses it end to end.
+	if _, err := Run(realOnly); err == nil || !strings.Contains(err.Error(), "KillAtMapProgress") {
+		t.Errorf("engine.Run accepted a real-only plan: %v", err)
+	}
+
+	simOnly := capabilitySpec(t)
+	simOnly.Faults = FaultPlan{
+		KillNodes: map[int]time.Duration{1: time.Second},
+		Disk:      DiskFaultPlan{IOErrorRate: 0.01},
+	}
+	if msg := simOnly.RealUnsupported(); !strings.Contains(msg, "DES-only") {
+		t.Errorf("RealUnsupported = %q, want a DES-only diagnosis", msg)
+	}
+	if msg := simOnly.SimUnsupported(); msg != "" {
+		t.Errorf("sim-only plan SimUnsupported = %q, want \"\"", msg)
+	}
+
+	shufOnly := capabilitySpec(t)
+	shufOnly.Faults = FaultPlan{ShuffleErrorRate: 0.01}
+	if msg := shufOnly.SimUnsupported(); !strings.Contains(msg, "ShuffleErrorRate") {
+		t.Errorf("SimUnsupported = %q, want the shuffle-error diagnosis", msg)
+	}
+}

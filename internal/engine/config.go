@@ -15,8 +15,11 @@
 // substrate interfaces (internal/substrate) and are shared with the
 // wall-clock backend (internal/realexec), which runs the same code on
 // real goroutines; JobSpec, Report, and the platform constants here
-// are common to both. Fault plans, checkpointing, and the virtual-time
-// schedule (progress curves, timelines) remain simulation-only.
+// are common to both. Fault injection and checkpointed recovery run on
+// both substrates, each with the trigger primitives its clock supports
+// (see SimUnsupported and RealUnsupported for the split); only the
+// virtual-time schedule (progress curves, timelines) and disk-damage
+// injection remain simulation-only.
 package engine
 
 import (
@@ -142,8 +145,10 @@ func PaperCluster(m cost.Model) ClusterConfig {
 
 // JobSpec is a complete job submission, accepted by both substrates
 // (engine.Run and internal/realexec). The wall-clock backend ignores
-// Query — it builds a fresh instance per task from a factory — and
-// rejects Faults and CheckpointEvery, which only the DES can execute.
+// Query — it builds a fresh instance per task from a factory. Fault
+// plans and CheckpointEvery run on both substrates; each backend
+// rejects the few trigger primitives only the other clock supports
+// (SimUnsupported / RealUnsupported).
 type JobSpec struct {
 	Query    mr.Query
 	Input    dfs.Input
@@ -271,6 +276,20 @@ func (s *JobSpec) validate() error {
 	if len(f.KillNodes) >= c.Nodes {
 		return errSpec("at least one node must survive")
 	}
+	for idx, frac := range f.KillAtMapProgress {
+		if idx < 0 || idx >= c.Nodes {
+			return errSpec("kill-at-progress node index out of range")
+		}
+		if frac <= 0 || frac > 1 {
+			return errSpec("kill-at-progress fraction must be in (0,1]")
+		}
+	}
+	if len(f.KillAtMapProgress) >= c.Nodes {
+		return errSpec("at least one node must survive")
+	}
+	if f.ShuffleErrorRate < 0 || f.ShuffleErrorRate >= 1 {
+		return errSpec("shuffle-error rate must be in [0,1)")
+	}
 	for idx, factor := range f.SlowNodes {
 		if idx < 0 || idx >= c.Nodes {
 			return errSpec("slow-node index out of range")
@@ -368,7 +387,32 @@ type FaultPlan struct {
 	// become unfetchable, and after HeartbeatTimeout without heartbeats
 	// the failure detector declares it dead, re-executes lost-but-needed
 	// map tasks on survivors, and restarts its reduce tasks elsewhere.
+	// Virtual-time triggers exist only on the DES; the wall-clock
+	// backend rejects KillNodes (use KillAtMapProgress there).
 	KillNodes map[int]time.Duration
+
+	// KillAtMapProgress maps a node index to a map-phase progress
+	// fraction in (0, 1] at which the node dies, the wall-clock
+	// backend's progress-anchored form of KillNodes: with K =
+	// ceil(fraction × map tasks), the node is deemed dead once the
+	// first K chunks (in canonical chunk order) are done — map outputs
+	// it published for chunks < K are lost and re-executed on
+	// survivors, its later map attempts and all its reduce tasks run on
+	// survivors, and reducers that reach a lost unit retry the fetch
+	// with backoff until the re-execution republishes it. 1 kills the
+	// node exactly at the map barrier (all its outputs lost, no map
+	// attempt displaced). Progress triggers keep a wall-clock run
+	// deterministic where a wall-time trigger could not; the DES
+	// rejects this field (use KillNodes there).
+	KillAtMapProgress map[int]float64
+
+	// ShuffleErrorRate is the per-fetch probability of a transient
+	// shuffle-read error on the wall-clock backend: the reducer retries
+	// the fetch with capped exponential backoff and the retry count is
+	// seeded per (reducer, unit, attempt, try), so it is deterministic.
+	// The DES rejects this field — its transient-error machinery is
+	// Disk.IOErrorRate, which the real backend in turn rejects.
+	ShuffleErrorRate float64
 
 	// SlowNodes maps a node index to a slowdown factor ≥ 1 applied to
 	// its CPU and disks — a straggler. Speculative execution exists to
@@ -502,22 +546,58 @@ func (d *DiskFaultPlan) storeFaults(idx int) *storage.DiskFaults {
 }
 
 // Active reports whether the plan injects anything at all — task
-// failures, node kills, stragglers, speculation, or disk faults. The
-// wall-clock backend uses it to reject fault plans, which only the
-// DES can execute.
+// failures, node kills (virtual-time or progress-anchored),
+// stragglers, speculation, shuffle errors, or disk faults. Both
+// backends use it to decide whether a run needs any fault machinery;
+// each then rejects the trigger primitives only the other clock
+// supports (SimUnsupported / RealUnsupported).
 func (f *FaultPlan) Active() bool { return f.any() || f.Disk.any() }
 
 // any reports whether the plan injects anything at all.
 func (f *FaultPlan) any() bool {
 	return len(f.MapFailures) > 0 || len(f.ReduceFailures) > 0 ||
-		len(f.KillNodes) > 0 || len(f.SlowNodes) > 0 || f.Speculate
+		len(f.KillNodes) > 0 || len(f.KillAtMapProgress) > 0 ||
+		len(f.SlowNodes) > 0 || f.Speculate || f.ShuffleErrorRate > 0
 }
 
 // risky reports whether attempts can fail after consuming input
 // (node kills or injected reduce failures), which makes reduce output
 // provisional until the attempt commits.
 func (f *FaultPlan) risky() bool {
-	return len(f.KillNodes) > 0 || len(f.ReduceFailures) > 0
+	return len(f.KillNodes) > 0 || len(f.KillAtMapProgress) > 0 ||
+		len(f.ReduceFailures) > 0
+}
+
+// SimUnsupported names the first fault feature in the spec that only
+// the wall-clock backend (internal/realexec) can execute, or returns
+// "" if the DES can run the whole plan. engine.Run rejects specs with
+// a non-empty answer; the split exists because each backend's clock
+// supports different trigger primitives, not because either skips
+// recovery.
+func (s *JobSpec) SimUnsupported() string {
+	f := &s.Faults
+	if len(f.KillAtMapProgress) > 0 {
+		return "map-progress node kills (KillAtMapProgress) run only on the real backend; use KillNodes with a virtual time on the DES"
+	}
+	if f.ShuffleErrorRate > 0 {
+		return "transient shuffle-error injection (ShuffleErrorRate) runs only on the real backend; use Faults.Disk.IOErrorRate on the DES"
+	}
+	return ""
+}
+
+// RealUnsupported names the first fault feature in the spec that
+// remains DES-only, or returns "" if the wall-clock backend
+// (internal/realexec) can run the whole plan. The real backend rejects
+// specs with a non-empty answer.
+func (s *JobSpec) RealUnsupported() string {
+	f := &s.Faults
+	if f.Disk.any() {
+		return "disk-fault injection (I/O errors, corruption, torn writes) remains DES-only"
+	}
+	if len(f.KillNodes) > 0 {
+		return "virtual-time node kills (KillNodes) remain DES-only; use KillAtMapProgress on the real backend"
+	}
+	return ""
 }
 
 // needsTracker reports whether the run needs the failure-detector /

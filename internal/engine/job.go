@@ -90,6 +90,9 @@ func Run(spec JobSpec) (*Report, error) {
 	if err := spec.validate(); err != nil {
 		return nil, err
 	}
+	if msg := spec.SimUnsupported(); msg != "" {
+		return nil, fmt.Errorf("engine: %s", msg)
+	}
 	cfg := &spec.Cluster
 	j := &job{
 		spec:        spec,

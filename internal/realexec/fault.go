@@ -1,0 +1,573 @@
+// Fault injection and recovery on the wall-clock backend.
+//
+// The DES anchors fault triggers to virtual time; a wall clock cannot
+// reproduce those schedules deterministically, so the real backend
+// anchors every trigger to job structure instead:
+//
+//   - node kills fire at a map-progress point: with K = ceil(fraction
+//     × map tasks), a node is dead once the first K chunks (canonical
+//     chunk order) are done — the set of outputs lost to the crash is
+//     a pure function of the spec, not of scheduling;
+//   - injected map failures die at a byte offset through the chunk,
+//     injected reduce failures after a fixed number of consumed
+//     shuffle units (the DES's own FailPoint semantics);
+//   - transient shuffle-read errors are seeded rolls per (reducer,
+//     unit, attempt, try), so retry counts for pure transient plans
+//     are deterministic;
+//   - checkpoints trigger on the attempt's virtual CPU ledger, the
+//     deterministic stand-in for the DES's virtual clock;
+//   - speculative backups are structural: every map task on a live
+//     straggler node races one backup on a healthy peer. Both
+//     attempts run to completion and the claim is taken only at
+//     publish, so each attempt's ledger — and therefore wastedCPU —
+//     is identical whichever side wins; only SpeculativeWins (and
+//     FetchRetries under kills) remain timing-dependent.
+//
+// Everything else — what a task computes, what it publishes, what a
+// reducer consumes and in what order — is the clean path, so answers
+// and logical counters stay bit-identical to the fault-free run.
+package realexec
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/frame"
+	"repro/internal/mr"
+	"repro/internal/storage"
+	"repro/internal/substrate"
+)
+
+const (
+	// Wall-clock backoff for shuffle fetches: lost units awaiting
+	// re-execution and injected transient errors. Far shorter than the
+	// DES's virtual 500ms/8s — these are real sleeps.
+	realFetchRetryBase = 200 * time.Microsecond
+	realFetchRetryCap  = 10 * time.Millisecond
+
+	// Straggler injection: each unit of slow factor above 1 adds this
+	// much real delay per task, capped so chaos suites stay fast.
+	slowTaskDelay    = 200 * time.Microsecond
+	slowTaskDelayCap = 5 * time.Millisecond
+
+	// consumedBitBytes mirrors the engine: serialized size of one
+	// shuffle-unit entry in a checkpoint's consumed-set image.
+	consumedBitBytes = 1
+
+	// maxReduceAttempts bounds one reduce task's restart ladder, like
+	// the engine's cap.
+	maxReduceAttempts = 40
+
+	// maxShuffleTries bounds consecutive injected transient errors on
+	// one fetch; with ShuffleErrorRate < 1 this is unreachable in
+	// practice.
+	maxShuffleTries = 1000
+)
+
+// shuffleWatchdog bounds how long a reducer waits for one lost unit's
+// re-execution before declaring the run wedged: the retry loop panics
+// (task failure, isolated as usual) instead of deadlocking the job.
+// A variable so tests can shorten the stall.
+var shuffleWatchdog = 30 * time.Second
+
+// faults interprets the job's fault plan for the wall-clock backend.
+type faults struct {
+	spec      *engine.JobSpec
+	seed      int64
+	nodes     int
+	totalMaps int
+	killAt    map[int]int // node → chunk count K after which it is dead
+}
+
+func newFaults(spec *engine.JobSpec, totalMaps int) *faults {
+	f := &faults{
+		spec:      spec,
+		seed:      spec.Seed ^ 0x0f377a11,
+		nodes:     spec.Cluster.Nodes,
+		totalMaps: totalMaps,
+		killAt:    make(map[int]int),
+	}
+	for idx, frac := range spec.Faults.KillAtMapProgress {
+		k := int(math.Ceil(frac * float64(totalMaps)))
+		if k < 1 {
+			k = 1
+		}
+		if k > totalMaps {
+			k = totalMaps
+		}
+		f.killAt[idx] = k
+	}
+	return f
+}
+
+// dies reports whether the node is killed at some point in the run.
+func (f *faults) dies(node int) bool { _, ok := f.killAt[node]; return ok }
+
+// lostAfterMap reports whether chunk's output, published on node, is
+// lost when the node dies: the first K chunks in canonical order
+// completed before the crash, so their outputs existed and vanish.
+func (f *faults) lostAfterMap(chunk, node int) bool {
+	k, ok := f.killAt[node]
+	return ok && chunk < k
+}
+
+// displaced reports whether the attempt for chunk would start on node
+// only after the node died — no work is lost, the task just runs on a
+// survivor instead.
+func (f *faults) displaced(chunk, node int) bool {
+	k, ok := f.killAt[node]
+	return ok && chunk >= k
+}
+
+// survivor returns the first node after n in ring order that never
+// dies. Validation guarantees at least one survivor exists.
+func (f *faults) survivor(n int) int {
+	for i := 1; i <= f.nodes; i++ {
+		c := (n + i) % f.nodes
+		if !f.dies(c) {
+			return c
+		}
+	}
+	return n
+}
+
+// backupNode returns a distinct node that never dies for a speculative
+// backup, or -1 when the cluster has none.
+func (f *faults) backupNode(n int) int {
+	for i := 1; i < f.nodes; i++ {
+		c := (n + i) % f.nodes
+		if !f.dies(c) {
+			return c
+		}
+	}
+	return -1
+}
+
+// slowSleep injects the straggler delay for tasks on a slow node.
+func (f *faults) slowSleep(node int) {
+	factor := f.spec.Faults.SlowNodes[node]
+	if factor <= 1 {
+		return
+	}
+	d := time.Duration(float64(slowTaskDelay) * (factor - 1))
+	if d > slowTaskDelayCap {
+		d = slowTaskDelayCap
+	}
+	time.Sleep(d)
+}
+
+// shuffleErr rolls the seeded transient shuffle-read error for one
+// fetch try.
+func (f *faults) shuffleErr(ridx int, u *unit, attempt, try int) bool {
+	rate := f.spec.Faults.ShuffleErrorRate
+	if rate <= 0 {
+		return false
+	}
+	return storage.Roll(rate, f.seed, int64(ridx), int64(u.chunk), int64(u.seq), int64(attempt), int64(try))
+}
+
+// failPoint is the spec's FailPoint with the DES's default-to-1 guard.
+func (f *faults) failPoint() float64 {
+	fp := f.spec.Faults.FailPoint
+	if fp <= 0 || fp > 1 {
+		fp = 1
+	}
+	return fp
+}
+
+// provisionalOutput reports whether reduce output must buffer until
+// the attempt completes: any plan that can kill an attempt after it
+// emitted.
+func (f *faults) provisionalOutput() bool {
+	return len(f.spec.Faults.ReduceFailures) > 0 || len(f.spec.Faults.KillAtMapProgress) > 0
+}
+
+// mapChain is one map task's full attempt history under fault
+// injection: the counted winner plus failed and superseded attempts
+// kept for I/O accounting.
+type mapChain struct {
+	winner *mapResult
+	extras []*mapResult
+	err    error
+}
+
+// runMapChain drives one map task through displacement, its injected
+// failure ladder, and an optional speculative backup race.
+func (r *run) runMapChain(chunk, node int) *mapChain {
+	f := r.flt
+	ch := &mapChain{}
+	if f.displaced(chunk, node) {
+		node = f.survivor(node)
+	}
+	failures := r.spec.Faults.MapFailures[chunk]
+
+	// Speculative backup race. Excluded for tasks with injected
+	// failures (their ladder length must stay deterministic) and for
+	// tasks on dying nodes (the lost-output set must stay a pure
+	// function of the spec).
+	var claim *atomic.Bool
+	var backupDone chan *mapResult
+	if r.spec.Faults.Speculate && failures == 0 && !f.dies(node) &&
+		r.spec.Faults.SlowNodes[node] > 1 {
+		if bn := f.backupNode(node); bn >= 0 {
+			claim = new(atomic.Bool)
+			backupDone = make(chan *mapResult, 1)
+			r.specBackups.Add(1)
+			go func() {
+				backupDone <- r.runMapAttempt(chunk, bn, 1, false, claim)
+			}()
+		}
+	}
+
+	for attempt := 0; ; attempt++ {
+		inject := attempt < failures
+		res := r.runMapAttempt(chunk, node, attempt, inject, claim)
+		if res.err != nil {
+			ch.err = res.err
+			break
+		}
+		if res.failed {
+			r.wastedCPU.Add(res.ledger)
+			ch.extras = append(ch.extras, res)
+			continue
+		}
+		if res.superseded {
+			r.wastedCPU.Add(res.ledger)
+			ch.extras = append(ch.extras, res)
+			break
+		}
+		ch.winner = res
+		break
+	}
+	if backupDone != nil {
+		bres := <-backupDone
+		switch {
+		case bres.err != nil:
+			if ch.err == nil {
+				ch.err = bres.err
+			}
+		case bres.superseded:
+			r.wastedCPU.Add(bres.ledger)
+			ch.extras = append(ch.extras, bres)
+		case ch.winner == nil && ch.err == nil:
+			r.specWins.Add(1)
+			ch.winner = bres
+		default:
+			// Claim discipline guarantees exactly one publisher.
+			ch.extras = append(ch.extras, bres)
+		}
+	}
+	if ch.winner == nil && ch.err == nil {
+		ch.err = fmt.Errorf("realexec: map task %d finished with no published attempt", chunk)
+	}
+	return ch
+}
+
+// waitUnit blocks until a lost unit's re-execution republishes it,
+// counting backoff rounds as fetch retries, with a watchdog so a stuck
+// recovery surfaces as a task error instead of a hung job.
+func (r *run) waitUnit(u *unit) {
+	if u.ready == nil {
+		return
+	}
+	select {
+	case <-u.ready:
+		return
+	default:
+	}
+	backoff := realFetchRetryBase
+	deadline := time.Now().Add(shuffleWatchdog)
+	for {
+		r.fetchRetries.Add(1)
+		select {
+		case <-u.ready:
+			return
+		case <-time.After(backoff):
+		}
+		if time.Now().After(deadline) {
+			panic(fmt.Errorf("shuffle fetch of map %d output stalled for %v awaiting re-execution", u.chunk, shuffleWatchdog))
+		}
+		if backoff *= 2; backoff > realFetchRetryCap {
+			backoff = realFetchRetryCap
+		}
+	}
+}
+
+// transientRetries burns the seeded transient-error rolls for one
+// fetch, sleeping a capped exponential backoff per error.
+func (r *run) transientRetries(ridx int, u *unit, attempt int) {
+	if r.flt.spec.Faults.ShuffleErrorRate <= 0 {
+		return
+	}
+	backoff := realFetchRetryBase
+	for try := 0; r.flt.shuffleErr(ridx, u, attempt, try); try++ {
+		if try >= maxShuffleTries {
+			panic(fmt.Errorf("shuffle fetch of map %d output exhausted %d transient-error retries", u.chunk, maxShuffleTries))
+		}
+		r.fetchRetries.Add(1)
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > realFetchRetryCap {
+			backoff = realFetchRetryCap
+		}
+	}
+}
+
+// rckpt is one wall-clock checkpoint: the CRC32C-framed state image
+// plus the consumed-set and staged-output bookkeeping, mirroring the
+// engine's ckptImage. The image is logically replicated off-node;
+// with no disk-damage injection on this backend only the newest level
+// is kept.
+type rckpt struct {
+	framed     []byte
+	consumed   []bool
+	consumedN  int
+	stateBytes int64 // table/sketch + consumed-set bytes
+	bucketSum  int64
+	bucketLens []int64
+
+	outRecords int64
+	outBytes   int64
+	outRows    [][2]string
+}
+
+// rtask is one reduce task's cross-attempt recovery state.
+type rtask struct {
+	ckpt        *rckpt
+	everFetched []bool
+}
+
+// reduceChain is one reduce task's attempt history.
+type reduceChain struct {
+	winner *reduceResult
+	extras []*reduceResult
+	err    error
+}
+
+// runReduceChain drives one reduce task through its restart ladder:
+// dead-node displacement, injected failures, and checkpointed
+// restarts.
+func (r *run) runReduceChain(ridx, node int) *reduceChain {
+	f := r.flt
+	ch := &reduceChain{}
+	task := &rtask{}
+	failures := r.spec.Faults.ReduceFailures[ridx]
+	live := 0
+	for attempt := 0; ; attempt++ {
+		if attempt >= maxReduceAttempts {
+			ch.err = fmt.Errorf("realexec: reduce task %d exceeded %d attempts", ridx, maxReduceAttempts)
+			return ch
+		}
+		if attempt > 0 {
+			r.restartedReduces.Add(1)
+		}
+		if f.dies(node) {
+			// The assigned node died during the map phase: the attempt
+			// does no work and the task restarts on a survivor.
+			node = f.survivor(node)
+			continue
+		}
+		// Injection counts live attempts: a zero-work displacement off a
+		// dead node does not consume one of the planned failures.
+		inject := live < failures
+		live++
+		res := r.runReduceAttempt(task, ridx, node, attempt, inject)
+		if res.err != nil {
+			ch.err = res.err
+			return ch
+		}
+		if res.failed {
+			r.wastedCPU.Add(res.ledger)
+			ch.extras = append(ch.extras, res)
+			continue
+		}
+		ch.winner = res
+		return ch
+	}
+}
+
+// runReduceAttempt executes one reduce attempt under fault injection:
+// restore from the newest checkpoint, replay only the unconsumed
+// suffix of the shuffle units, checkpoint on the virtual CPU ledger,
+// and either finish (committing provisional output) or die at the
+// injected fail point.
+func (r *run) runReduceAttempt(task *rtask, ridx, node, attempt int, inject bool) (res *reduceResult) {
+	res = &reduceResult{}
+	defer func() {
+		if rec := recover(); rec != nil {
+			res.err = fmt.Errorf("realexec: reduce task %d attempt %d: %v", ridx, attempt, rec)
+		}
+	}()
+	p := substrate.NewWallProc(r.start)
+	taskStart := p.Now()
+	st := r.newStore(node)
+	res.store = st
+	rt := r.newRuntime(p, st, &res.ledger)
+	q := r.newQ()
+	if wm, ok := q.(mr.Watermarker); ok && r.hasWM {
+		wm.AdvanceWatermark(r.globalWM)
+	}
+	cfg := &r.spec.Cluster
+	out := &outputWriter{p: p, st: st, res: res, flushAt: cfg.Page,
+		collect: r.spec.CollectOutput, provisional: r.flt.provisionalOutput()}
+	red := r.buildReducers(rt, q, out, fmt.Sprintf("r%03d.a%d", ridx, attempt))
+
+	// Resume from the newest checkpoint: read the replicated image
+	// back (table/sketch + consumed-set + all bucket bytes), rebuild
+	// the reducer, and replay only the unconsumed suffix.
+	consumed := make([]bool, len(r.units))
+	consumedN := 0
+	if ck := task.ckpt; ck != nil && red.incremental() {
+		payload, err := frame.Decode(ck.framed)
+		if err != nil {
+			panic(fmt.Errorf("checkpoint frame for reduce task %d failed verification: %w", ridx, err))
+		}
+		img, err := core.UnmarshalImage(payload)
+		if err != nil {
+			panic(fmt.Errorf("checkpoint image for reduce task %d failed to decode: %w", ridx, err))
+		}
+		st.ChargeCheckpointRead(p, ck.stateBytes+ck.bucketSum)
+		if red.inch != nil {
+			red.inch.Restore(img)
+		} else {
+			red.dinch.Restore(img)
+		}
+		out.restoreFrom(ck)
+		copy(consumed, ck.consumed)
+		consumedN = ck.consumedN
+	}
+
+	failN := len(r.units)
+	if inject {
+		failN = int(math.Ceil(r.flt.failPoint() * float64(len(r.units))))
+		if failN < 1 {
+			failN = 1
+		}
+	}
+	failOut := func() *reduceResult {
+		res.failed = true
+		out.discard()
+		res.span = engine.Span{
+			Name: fmt.Sprintf("reduce%03d.a%d", ridx, attempt), Kind: "reduce-failed", Node: node,
+			Start: time.Duration(taskStart), End: time.Duration(p.Now()),
+		}
+		return res
+	}
+	if inject && consumedN >= failN {
+		return failOut()
+	}
+
+	r.flt.slowSleep(node)
+	ckptEvery := int64(r.spec.CheckpointEvery)
+	lastCkpt := res.ledger
+
+	// Shuffle loop over the unconsumed suffix, in the same fixed unit
+	// order as the clean path — reducers wait for lost units (never
+	// skip), so consumption order, and with it every answer, is
+	// preserved.
+	nextSnap := r.spec.SnapshotEvery
+	for ui, u := range r.units {
+		if consumed[ui] {
+			continue
+		}
+		r.waitUnit(u)
+		if u.err != nil {
+			panic(fmt.Errorf("map task %d re-execution failed: %v", u.chunk, u.err))
+		}
+		r.transientRetries(ridx, u, attempt)
+		if size := u.partBytes[ridx]; size > 0 {
+			r.memFetches.Add(1)
+			if task.everFetched == nil {
+				task.everFetched = make([]bool, len(r.units))
+			}
+			if task.everFetched[ui] {
+				r.refetchBytes.Add(size)
+			} else {
+				task.everFetched[ui] = true
+			}
+			r.feedUnit(rt, red, u, ridx)
+		}
+		r.fetchesDone.Add(1)
+		consumed[ui] = true
+		consumedN++
+
+		if inject && consumedN >= failN {
+			return failOut()
+		}
+		if red.incremental() && ckptEvery > 0 && res.ledger-lastCkpt >= ckptEvery {
+			r.takeCheckpoint(p, st, task, red, out, consumed, consumedN)
+			lastCkpt = res.ledger
+		}
+
+		if red.smr != nil && r.spec.SnapshotEvery > 0 {
+			for nextSnap < 1 {
+				snap := &snapshotWriter{r: r, p: p, st: st}
+				red.smr.Snapshot(snap)
+				snap.flush()
+				nextSnap += r.spec.SnapshotEvery
+			}
+		}
+		if red.smr != nil && red.smr.Tree().NeedsMerge() {
+			for red.smr.Tree().NeedsMerge() {
+				red.smr.Tree().MergeOnce(p, red.smr.Charger())
+			}
+		}
+	}
+
+	r.finishReducer(red, out, res)
+	out.commit()
+	out.flush()
+	res.span = engine.Span{
+		Name: fmt.Sprintf("reduce%03d.a%d", ridx, attempt), Kind: "reduce", Node: node,
+		Start: time.Duration(taskStart), End: time.Duration(p.Now()),
+	}
+	return res
+}
+
+// takeCheckpoint snapshots the incremental reducer's state together
+// with the consumed-set, serializes it into a CRC32C-framed image,
+// charges the checkpoint write (full state + consumed-set plus only
+// the bucket bytes appended since the previous checkpoint), and
+// stages the attempt's provisional output — the engine's
+// takeCheckpoint on the wall substrate.
+func (r *run) takeCheckpoint(p substrate.Proc, st *storage.Store, task *rtask, red *reducers, out *outputWriter, consumed []bool, consumedN int) {
+	var img *core.StateImage
+	if red.inch != nil {
+		img = red.inch.Snapshot()
+	} else {
+		img = red.dinch.Snapshot()
+	}
+	payload := core.MarshalImage(img)
+	ck := &rckpt{
+		framed:     frame.Append(nil, payload),
+		consumed:   append([]bool(nil), consumed...),
+		consumedN:  consumedN,
+		stateBytes: img.StateBytes() + int64(len(r.units))*consumedBitBytes,
+		bucketLens: img.BucketLens(),
+	}
+	write := ck.stateBytes
+	var prev []int64
+	if task.ckpt != nil {
+		prev = task.ckpt.bucketLens
+	}
+	for i, l := range ck.bucketLens {
+		ck.bucketSum += l
+		var pl int64
+		if i < len(prev) {
+			pl = prev[i]
+		}
+		if l > pl {
+			write += l - pl
+		}
+	}
+	st.ChargeCheckpointWrite(p, write)
+	if st.Checksums {
+		st.NoteOverhead(storage.Checkpoint, frame.Overhead(len(payload)))
+	}
+	task.ckpt = ck
+	r.checkpoints.Add(1)
+	out.stageInto(ck)
+}

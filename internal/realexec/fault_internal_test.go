@@ -1,0 +1,50 @@
+package realexec
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWaitUnitWatchdog pins the deadlock watchdog: a reducer stuck
+// waiting for a lost unit whose re-execution never lands panics with a
+// stall diagnosis (surfacing as a task error) instead of hanging the
+// job forever.
+func TestWaitUnitWatchdog(t *testing.T) {
+	old := shuffleWatchdog
+	shuffleWatchdog = 20 * time.Millisecond
+	defer func() { shuffleWatchdog = old }()
+
+	r := &run{}
+	u := &unit{chunk: 3, ready: make(chan struct{})} // never closed
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			t.Fatal("waitUnit returned without the unit becoming ready")
+		}
+		msg := ""
+		if err, ok := rec.(error); ok {
+			msg = err.Error()
+		}
+		if !strings.Contains(msg, "stalled") {
+			t.Fatalf("watchdog panic = %v, want a stall diagnosis", rec)
+		}
+		if r.fetchRetries.Load() == 0 {
+			t.Error("fetchRetries = 0, want > 0 after backoff rounds")
+		}
+	}()
+	r.waitUnit(u)
+}
+
+// TestWaitUnitReady covers the fast paths: nil ready (never lost) and
+// an already-republished unit return immediately without retries.
+func TestWaitUnitReady(t *testing.T) {
+	r := &run{}
+	r.waitUnit(&unit{})
+	ready := make(chan struct{})
+	close(ready)
+	r.waitUnit(&unit{ready: ready})
+	if n := r.fetchRetries.Load(); n != 0 {
+		t.Errorf("fetchRetries = %d, want 0 on available units", n)
+	}
+}

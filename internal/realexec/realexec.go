@@ -21,8 +21,15 @@
 //     MemShuffleFetches counts every fetch and DiskShuffleFetches is 0;
 //   - cross-task counters are integers summed in task order at the end.
 //
-// Only fault-free plans are admitted: fault injection (crashes,
-// stragglers, disk damage, checkpoint/restart) is simulation-only.
+// Fault plans and checkpointing run here too (see fault.go): node
+// kills anchored to map-progress points, stragglers, per-attempt
+// map/reduce failures, transient shuffle-read errors, speculative map
+// backups, and checkpointed INC/DINC reducer state all execute with
+// seeded, structural triggers, so answers and logical counters stay
+// bit-identical to the fault-free run. Only two trigger primitives
+// remain DES-only — virtual-time node kills (KillNodes) and
+// disk-damage injection (FaultPlan.Disk) — and Run rejects those by
+// name (engine.JobSpec.RealUnsupported).
 package realexec
 
 import (
@@ -74,10 +81,19 @@ type collector interface {
 // M3R-style shuffle. Reducers read their partition's segments directly;
 // no fetch ever touches a disk. Non-HOP map tasks publish one unit
 // each (seq 0); HOP publishes one per eager spill push.
+//
+// When a node kill loses a unit's output, the unit turns into a
+// placeholder: parts is cleared and ready is installed before the
+// reduce phase starts, and the re-execution attempt republishes into
+// it and closes ready. ready == nil means the unit was never lost, so
+// the fault-free fetch path stays branch-free.
 type unit struct {
 	chunk, seq int
 	parts      [][][]byte
 	partBytes  []int64
+
+	ready chan struct{} // non-nil only for lost units awaiting re-execution
+	err   error         // re-execution failure, set before ready closes
 }
 
 // run is the shared state of one real-backend job.
@@ -100,6 +116,19 @@ type run struct {
 	memFetches      atomic.Int64
 	fetchesDone     atomic.Int64
 	snapshotRecords atomic.Int64
+
+	// Fault-injected runs only; nil flt routes every task through the
+	// clean code paths untouched.
+	flt              *faults
+	nodesLost        int // set at the map barrier, before the reduce phase
+	reexecMaps       int
+	restartedReduces atomic.Int64
+	specBackups      atomic.Int64
+	specWins         atomic.Int64
+	fetchRetries     atomic.Int64
+	wastedCPU        atomic.Int64 // virtual ns burnt by failed/superseded attempts
+	refetchBytes     atomic.Int64 // shuffle bytes fetched again by restarted reducers
+	checkpoints      atomic.Int64
 }
 
 // Run executes the job on real goroutines and returns its report.
@@ -112,11 +141,11 @@ func Run(s Spec) (*engine.Report, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	if spec.Faults.Active() {
-		return nil, fmt.Errorf("realexec: fault plans run only on the DES backend")
-	}
-	if spec.CheckpointEvery > 0 {
-		return nil, fmt.Errorf("realexec: checkpointing runs only on the DES backend")
+	// Capability check, not a blanket rejection: fault plans and
+	// checkpointing run here; only the trigger primitives tied to the
+	// DES clock are refused, by name.
+	if msg := spec.RealUnsupported(); msg != "" {
+		return nil, fmt.Errorf("realexec: %s", msg)
 	}
 	workers := s.Workers
 	if workers < 1 {
@@ -137,18 +166,42 @@ func Run(s Spec) (*engine.Report, error) {
 	}
 	r.inputBytesEst = int64(len(spec.Input.ChunkBytes(0))) * int64(r.totalMaps)
 
+	// HOP admits no fault plans (validation), and checkpointing is an
+	// INC/DINC mechanism on both substrates — everything else keeps the
+	// clean path, so fault-free reports cannot drift.
+	if spec.Faults.Active() || (spec.CheckpointEvery > 0 && spec.Platform.Incremental()) {
+		r.flt = newFaults(&spec, r.totalMaps)
+	}
+
 	placement := dfs.NewPlacement(cfg.Nodes, cfg.Replication)
 	assign := dfs.NewAssignment(spec.Input, placement)
 
 	// Map phase: fan the chunks over the worker pool; each task owns
-	// its store, proc, query, and ledger.
+	// its store, proc, query, and ledger. Faulted runs execute attempt
+	// chains (injected failures, displaced tasks, speculative backups)
+	// instead of single attempts.
 	mapRes := make([]*mapResult, r.totalMaps)
-	forEach(workers, r.totalMaps, func(chunk int) {
-		mapRes[chunk] = r.runMapTask(chunk, assign.Node(chunk))
-	})
-	for _, mres := range mapRes {
-		if mres.err != nil {
-			return nil, mres.err
+	var mapExtra []*mapResult
+	if r.flt == nil {
+		forEach(workers, r.totalMaps, func(chunk int) {
+			mapRes[chunk] = r.runMapAttempt(chunk, assign.Node(chunk), 0, false, nil)
+		})
+		for _, mres := range mapRes {
+			if mres.err != nil {
+				return nil, mres.err
+			}
+		}
+	} else {
+		chains := make([]*mapChain, r.totalMaps)
+		forEach(workers, r.totalMaps, func(chunk int) {
+			chains[chunk] = r.runMapChain(chunk, assign.Node(chunk))
+		})
+		for chunk, ch := range chains {
+			if ch.err != nil {
+				return nil, ch.err
+			}
+			mapRes[chunk] = ch.winner
+			mapExtra = append(mapExtra, ch.extras...)
 		}
 	}
 	mapFinish := time.Since(r.start)
@@ -169,18 +222,86 @@ func Run(s Spec) (*engine.Report, error) {
 		return r.units[i].seq < r.units[j].seq
 	})
 
-	// Reduce phase.
-	redRes := make([]*reduceResult, r.numReducers)
-	forEach(workers, r.numReducers, func(ridx int) {
-		redRes[ridx] = r.runReduceTask(ridx, ridx%cfg.Nodes)
-	})
-	for _, rres := range redRes {
-		if rres.err != nil {
-			return nil, rres.err
+	// Node kills: outputs published on a node that died mid-map-phase
+	// are lost at the barrier. Their units become placeholders and the
+	// tasks re-execute on survivors concurrently with the reduce phase;
+	// reducers that reach a lost unit first wait with backoff — the
+	// lazy re-fetch protocol, off the critical path when recovery wins
+	// the race.
+	var reexecWG sync.WaitGroup
+	var reexecRes []*mapResult
+	if r.flt != nil && len(r.flt.killAt) > 0 {
+		r.nodesLost = len(r.flt.killAt)
+		var lost []*unit
+		for _, u := range r.units {
+			if r.flt.lostAfterMap(u.chunk, mapRes[u.chunk].node) {
+				lost = append(lost, u)
+			}
+		}
+		r.reexecMaps = len(lost)
+		reexecRes = make([]*mapResult, len(lost))
+		for i, u := range lost {
+			i, u := i, u
+			node := r.flt.survivor(mapRes[u.chunk].node)
+			attempt := 1 + r.spec.Faults.MapFailures[u.chunk]
+			u.parts, u.partBytes = nil, nil
+			u.ready = make(chan struct{})
+			reexecWG.Add(1)
+			go func() {
+				defer reexecWG.Done()
+				res := r.runMapAttempt(u.chunk, node, attempt, false, nil)
+				reexecRes[i] = res
+				if res.err != nil {
+					u.err = res.err
+				} else {
+					nu := res.units[0]
+					u.parts, u.partBytes = nu.parts, nu.partBytes
+				}
+				close(u.ready)
+			}()
 		}
 	}
 
-	return r.report(mapRes, redRes, mapFinish, workers), nil
+	// Reduce phase. Faulted runs execute restart ladders per task.
+	redRes := make([]*reduceResult, r.numReducers)
+	var redExtra []*reduceResult
+	if r.flt == nil {
+		forEach(workers, r.numReducers, func(ridx int) {
+			redRes[ridx] = r.runReduceTask(ridx, ridx%cfg.Nodes)
+		})
+		for _, rres := range redRes {
+			if rres.err != nil {
+				return nil, rres.err
+			}
+		}
+	} else {
+		chains := make([]*reduceChain, r.numReducers)
+		forEach(workers, r.numReducers, func(ridx int) {
+			chains[ridx] = r.runReduceChain(ridx, ridx%cfg.Nodes)
+		})
+		reexecWG.Wait()
+		for _, res := range reexecRes {
+			if res != nil && res.err != nil {
+				return nil, res.err
+			}
+		}
+		for ridx, ch := range chains {
+			if ch.err != nil {
+				return nil, ch.err
+			}
+			redRes[ridx] = ch.winner
+			redExtra = append(redExtra, ch.extras...)
+		}
+	}
+
+	// Re-executed map attempts are completed work and count like the
+	// originals — the same double-counting the DES exhibits when lost
+	// outputs recompute.
+	mapDone := mapRes
+	if len(reexecRes) > 0 {
+		mapDone = append(append(make([]*mapResult, 0, len(mapRes)+len(reexecRes)), mapRes...), reexecRes...)
+	}
+	return r.report(mapDone, mapExtra, redRes, redExtra, mapFinish, workers), nil
 }
 
 // forEach runs fn(0) … fn(n-1) on up to workers goroutines.
@@ -233,28 +354,37 @@ func (r *run) newRuntime(p substrate.Proc, st *storage.Store, ledger *int64) *co
 	}
 }
 
-// mapResult is one map task's outcome.
+// mapResult is one map attempt's outcome.
 type mapResult struct {
 	store  *storage.Store
+	node   int
 	units  []*unit
 	ledger int64
 
 	mapped, emitted, quarantined int64
 	maxTS                        int64
 	hasTS                        bool
+	failed                       bool // injected failure: output discarded, task retries
+	superseded                   bool // lost the claim race to a speculative twin
 	span                         engine.Span
 	err                          error
 }
 
-// runMapTask executes one map task: read the chunk in segments
-// (charging input I/O and CPU exactly as the engine does), feed records
-// through a fresh query instance into the platform collector, write the
-// map output for U3 accounting parity, and cache it as a shuffle unit.
-func (r *run) runMapTask(chunk, node int) (res *mapResult) {
-	res = &mapResult{}
+// runMapAttempt executes one map task attempt: read the chunk in
+// segments (charging input I/O and CPU exactly as the engine does),
+// feed records through a fresh query instance into the platform
+// collector, write the map output for U3 accounting parity, and cache
+// it as a shuffle unit. Clean runs call it once per chunk with
+// attempt 0 and no injection; faulted runs drive it from attempt
+// chains (fault.go). When inject is set the attempt dies at the
+// spec's FailPoint through the chunk; when claim is non-nil the
+// attempt races a speculative twin and only the first to claim
+// publishes.
+func (r *run) runMapAttempt(chunk, node, attempt int, inject bool, claim *atomic.Bool) (res *mapResult) {
+	res = &mapResult{node: node}
 	defer func() {
 		if rec := recover(); rec != nil {
-			res.err = fmt.Errorf("realexec: map task %d: %v", chunk, rec)
+			res.err = fmt.Errorf("realexec: map task %d attempt %d: %v", chunk, attempt, rec)
 		}
 	}()
 	p := substrate.NewWallProc(r.start)
@@ -272,7 +402,7 @@ func (r *run) runMapTask(chunk, node int) (res *mapResult) {
 	switch r.spec.Platform {
 	case engine.SortMerge:
 		coll = sortmerge.NewMapCollector(rt, q, sortmerge.MapCollectorConfig{
-			Prefix:      fmt.Sprintf("m%06d.a0", chunk),
+			Prefix:      fmt.Sprintf("m%06d.a%d", chunk, attempt),
 			Partitions:  r.numReducers,
 			Buffer:      cfg.MapBuffer,
 			MergeFactor: cfg.MergeFactor,
@@ -294,6 +424,10 @@ func (r *run) runMapTask(chunk, node int) (res *mapResult) {
 	seg := cfg.ReadSegment
 	if seg <= 0 || seg > int64(len(data)) {
 		seg = int64(len(data))
+	}
+	failAt := int64(-1)
+	if inject {
+		failAt = int64(r.flt.failPoint() * float64(len(data)))
 	}
 	t := &mapTask{run: r, res: res, q: q, wm: wm, coll: coll}
 	t.scratch = bytestore.Get(int(seg))
@@ -325,17 +459,41 @@ func (r *run) runMapTask(chunk, node int) (res *mapResult) {
 		}
 		rt.ChargeCPU(cpu)
 		off = end
+		if failAt >= 0 && end >= failAt {
+			// Injected attempt death at the same byte offset the DES
+			// uses: all work done so far is discarded and wasted.
+			bytestore.Put(t.scratch)
+			res.failed = true
+			res.span = engine.Span{
+				Name: fmt.Sprintf("map%06d#%d", chunk, attempt), Kind: "map-failed", Node: node,
+				Start: time.Duration(taskStart), End: time.Duration(p.Now()),
+			}
+			return res
+		}
 	}
 	bytestore.Put(t.scratch)
 
 	parts, mapped, emitted := coll.Finish()
 	res.mapped, res.emitted = mapped, emitted
+	if r.flt != nil {
+		r.flt.slowSleep(node)
+	}
+	if claim != nil && !claim.CompareAndSwap(false, true) {
+		// The speculative twin claimed first: suppress the duplicate —
+		// nothing is published, the completed compute is wasted.
+		res.superseded = true
+		res.span = engine.Span{
+			Name: fmt.Sprintf("map%06d#%d", chunk, attempt), Kind: "map-superseded", Node: node,
+			Start: time.Duration(taskStart), End: time.Duration(p.Now()),
+		}
+		return res
+	}
 	if hop == nil {
 		res.units = append(res.units,
-			r.publish(p, st, fmt.Sprintf("map%06d.a0.out", chunk), chunk, 0, parts))
+			r.publish(p, st, fmt.Sprintf("map%06d.a%d.out", chunk, attempt), chunk, 0, parts))
 	}
 	res.span = engine.Span{
-		Name: fmt.Sprintf("map%06d#0", chunk), Kind: "map", Node: node,
+		Name: fmt.Sprintf("map%06d#%d", chunk, attempt), Kind: "map", Node: node,
 		Start: time.Duration(taskStart), End: time.Duration(p.Now()),
 	}
 	return res
@@ -547,7 +705,7 @@ func (h *wallHopCollector) Finish() ([][][]byte, int64, int64) {
 	return nil, h.mapped, h.emitted
 }
 
-// reduceResult is one reduce task's outcome.
+// reduceResult is one reduce attempt's outcome.
 type reduceResult struct {
 	store  *storage.Store
 	ledger int64
@@ -556,6 +714,7 @@ type reduceResult struct {
 	outBytes   int64
 	approxKeys int64
 	outputs    [][2]string
+	failed     bool // injected failure: provisional output discarded, task restarts
 	span       engine.Span
 	err        error
 }
@@ -563,18 +722,39 @@ type reduceResult struct {
 // outputWriter is the wall-clock reduce output sink: it counts records
 // and charges ReduceOutput writes in Page-sized batches, like the
 // engine's write-behind queue.
+//
+// Under fault plans that can kill a reduce attempt after it has
+// emitted (injected reduce failures, node kills), the writer is
+// provisional: emissions buffer in the attempt until commit, so a
+// failed attempt's output vanishes without trace, and checkpoints
+// stage the buffered prefix so a restart does not re-emit it — the
+// same contract as the engine's provisional reduceOutput.
 type outputWriter struct {
-	p       substrate.Proc
-	st      *storage.Store
-	res     *reduceResult
-	flushAt int64
-	collect bool
-	pending int64
+	p           substrate.Proc
+	st          *storage.Store
+	res         *reduceResult
+	flushAt     int64
+	collect     bool
+	pending     int64
+	provisional bool
+
+	urecords int64
+	ubytes   int64
+	staged   int64 // provisional bytes already charged by a checkpoint
+	urows    [][2]string
 }
 
 // Emit implements mr.OutputWriter.
 func (w *outputWriter) Emit(key, value []byte) {
 	sz := int64(len(key) + len(value) + 2)
+	if w.provisional {
+		w.urecords++
+		w.ubytes += sz
+		if w.collect {
+			w.urows = append(w.urows, [2]string{string(key), string(value)})
+		}
+		return
+	}
 	w.res.outRecords++
 	w.res.outBytes += sz
 	if w.collect {
@@ -591,6 +771,53 @@ func (w *outputWriter) flush() {
 		w.st.ChargeOutputWrite(w.p, w.pending)
 		w.pending = 0
 	}
+}
+
+// commit folds the provisional buffer into the attempt's result at
+// successful completion; bytes a checkpoint already staged are not
+// re-charged.
+func (w *outputWriter) commit() {
+	if !w.provisional {
+		return
+	}
+	w.res.outRecords += w.urecords
+	w.res.outBytes += w.ubytes
+	w.res.outputs = append(w.res.outputs, w.urows...)
+	w.pending += w.ubytes - w.staged
+	w.urecords, w.ubytes, w.staged, w.urows = 0, 0, 0, nil
+}
+
+// stageInto persists the provisional prefix with a checkpoint: the
+// delta since the last stage is charged now, and the checkpoint
+// snapshots the buffered rows (capacity-clipped so later emissions
+// cannot alias into the snapshot).
+func (w *outputWriter) stageInto(ck *rckpt) {
+	if !w.provisional {
+		return
+	}
+	if delta := w.ubytes - w.staged; delta > 0 {
+		w.st.ChargeOutputWrite(w.p, delta)
+	}
+	w.staged = w.ubytes
+	w.urows = w.urows[:len(w.urows):len(w.urows)]
+	ck.outRecords, ck.outBytes, ck.outRows = w.urecords, w.ubytes, w.urows
+}
+
+// restoreFrom preloads the provisional buffer from a checkpoint at
+// restart: the staged prefix is already on disk, so only post-restore
+// emissions will be charged.
+func (w *outputWriter) restoreFrom(ck *rckpt) {
+	if !w.provisional {
+		return
+	}
+	w.urecords, w.ubytes, w.staged = ck.outRecords, ck.outBytes, ck.outBytes
+	w.urows = ck.outRows
+}
+
+// discard drops the provisional buffer when an attempt fails.
+func (w *outputWriter) discard() {
+	w.urecords, w.ubytes, w.staged, w.urows = 0, 0, 0, nil
+	w.pending = 0
 }
 
 // snapshotWriter sinks approximate HOP snapshot output: records count
@@ -616,11 +843,129 @@ func (w *snapshotWriter) flush() {
 	}
 }
 
-// runReduceTask executes one reduce task: consume every cached shuffle
-// unit's partition in fixed order through the platform reducer, then
-// finish. The map barrier has already advanced the watermark to the
-// global maximum, exactly the horizon reference.RunWithWatermarks
-// reduces under.
+// reducers bundles the platform reducer one attempt drives; exactly
+// one field is non-nil.
+type reducers struct {
+	smr   *sortmerge.Reducer
+	mrh   *core.MRHashReducer
+	inch  *core.INCHashReducer
+	dinch *core.DINCHashReducer
+}
+
+func (red *reducers) incremental() bool { return red.inch != nil || red.dinch != nil }
+
+// buildReducers constructs the platform reducer for one attempt with
+// the same configuration on every attempt (only the store prefix
+// varies), so replayed attempts recompute identically.
+func (r *run) buildReducers(rt *core.Runtime, q mr.Query, out *outputWriter, prefix string) *reducers {
+	cfg := &r.spec.Cluster
+	red := &reducers{}
+	switch r.spec.Platform {
+	case engine.SortMerge, engine.HOP:
+		red.smr = sortmerge.NewReducer(rt, q, sortmerge.ReducerConfig{
+			Prefix:      prefix,
+			Buffer:      cfg.ReduceBuffer,
+			MergeFactor: cfg.MergeFactor,
+			ReadSegment: cfg.ReadSegment,
+		})
+	case engine.MRHash:
+		red.mrh = core.NewMRHashReducer(rt, q, core.MRHashConfig{
+			Prefix:        prefix,
+			MemBudget:     cfg.ReduceBuffer,
+			Page:          cfg.Page,
+			ReadSegment:   cfg.ReadSegment,
+			ExpectedBytes: r.expectedReducerBytes(),
+		})
+	case engine.INCHash:
+		red.inch = core.NewINCHashReducer(rt, q, core.INCHashConfig{
+			Prefix:             prefix,
+			MemBudget:          cfg.ReduceBuffer,
+			Page:               cfg.Page,
+			ReadSegment:        cfg.ReadSegment,
+			ExpectedStateBytes: r.expectedReducerStateBytes(),
+		}, out)
+	case engine.DINCHash:
+		red.dinch = core.NewDINCHashReducer(rt, q, core.DINCHashConfig{
+			Prefix:               prefix,
+			MemBudget:            cfg.ReduceBuffer,
+			Page:                 cfg.Page,
+			ReadSegment:          cfg.ReadSegment,
+			ExpectedDistinctKeys: r.spec.Hints.DistinctKeys / int64(r.numReducers),
+			KeyBytes:             16,
+			CoverageThreshold:    r.spec.CoverageThreshold,
+			ScanEvery:            r.spec.ScanEvery,
+		}, out)
+	}
+	return red
+}
+
+// feedUnit drives one cached unit's partition for ridx into the
+// platform reducer, charging consume CPU. Callers skip it for empty
+// partitions.
+func (r *run) feedUnit(rt *core.Runtime, red *reducers, u *unit, ridx int) {
+	segs := u.parts[ridx]
+	size := u.partBytes[ridx]
+	model := r.model
+	var records int64
+	switch {
+	case red.smr != nil:
+		for _, seg := range segs {
+			records += int64(kvenc.Count(seg))
+			red.smr.Consume(seg)
+		}
+		rt.ChargeCPU(model.CPUOps(model.CPUParseByte, size))
+	default:
+		for _, seg := range segs {
+			it := kvenc.NewIterator(seg)
+			for {
+				k, v, more := it.Next()
+				if !more {
+					break
+				}
+				records++
+				switch {
+				case red.mrh != nil:
+					red.mrh.Consume(k, v)
+				case red.inch != nil:
+					red.inch.Consume(k, v)
+				default:
+					red.dinch.Consume(k, v)
+				}
+			}
+			if err := it.Err(); err != nil {
+				panic(fmt.Errorf("corrupt shuffle segment from map task %d: %w", u.chunk, err))
+			}
+		}
+		per := model.CPUHashInsert
+		if r.spec.Platform.Incremental() {
+			per += model.CPUCombine
+		}
+		rt.ChargeCPU(model.CPUOps(per, records))
+	}
+}
+
+// finish runs the platform's finalization into out.
+func (r *run) finishReducer(red *reducers, out *outputWriter, res *reduceResult) {
+	switch {
+	case red.smr != nil:
+		red.smr.PrepareFinal()
+		red.smr.Finish(out)
+	case red.mrh != nil:
+		red.mrh.Finish(out)
+	case red.inch != nil:
+		red.inch.Finish()
+	default:
+		red.dinch.Finish()
+		res.approxKeys = red.dinch.ApproxKeys()
+	}
+}
+
+// runReduceTask executes one clean reduce task: consume every cached
+// shuffle unit's partition in fixed order through the platform
+// reducer, then finish. The map barrier has already advanced the
+// watermark to the global maximum, exactly the horizon
+// reference.RunWithWatermarks reduces under. Faulted runs use
+// runReduceChain (fault.go) instead.
 func (r *run) runReduceTask(ridx, node int) (res *reduceResult) {
 	res = &reduceResult{}
 	defer func() {
@@ -638,50 +983,8 @@ func (r *run) runReduceTask(ridx, node int) (res *reduceResult) {
 		wm.AdvanceWatermark(r.globalWM)
 	}
 	cfg := &r.spec.Cluster
-	model := r.model
 	out := &outputWriter{p: p, st: st, res: res, flushAt: cfg.Page, collect: r.spec.CollectOutput}
-
-	var smr *sortmerge.Reducer
-	var mrh *core.MRHashReducer
-	var inch *core.INCHashReducer
-	var dinch *core.DINCHashReducer
-	prefix := fmt.Sprintf("r%03d", ridx)
-	switch r.spec.Platform {
-	case engine.SortMerge, engine.HOP:
-		smr = sortmerge.NewReducer(rt, q, sortmerge.ReducerConfig{
-			Prefix:      prefix,
-			Buffer:      cfg.ReduceBuffer,
-			MergeFactor: cfg.MergeFactor,
-			ReadSegment: cfg.ReadSegment,
-		})
-	case engine.MRHash:
-		mrh = core.NewMRHashReducer(rt, q, core.MRHashConfig{
-			Prefix:        prefix,
-			MemBudget:     cfg.ReduceBuffer,
-			Page:          cfg.Page,
-			ReadSegment:   cfg.ReadSegment,
-			ExpectedBytes: r.expectedReducerBytes(),
-		})
-	case engine.INCHash:
-		inch = core.NewINCHashReducer(rt, q, core.INCHashConfig{
-			Prefix:             prefix,
-			MemBudget:          cfg.ReduceBuffer,
-			Page:               cfg.Page,
-			ReadSegment:        cfg.ReadSegment,
-			ExpectedStateBytes: r.expectedReducerStateBytes(),
-		}, out)
-	case engine.DINCHash:
-		dinch = core.NewDINCHashReducer(rt, q, core.DINCHashConfig{
-			Prefix:               prefix,
-			MemBudget:            cfg.ReduceBuffer,
-			Page:                 cfg.Page,
-			ReadSegment:          cfg.ReadSegment,
-			ExpectedDistinctKeys: r.spec.Hints.DistinctKeys / int64(r.numReducers),
-			KeyBytes:             16,
-			CoverageThreshold:    r.spec.CoverageThreshold,
-			ScanEvery:            r.spec.ScanEvery,
-		}, out)
-	}
+	red := r.buildReducers(rt, q, out, fmt.Sprintf("r%03d", ridx))
 
 	// Shuffle loop over the cached units. Every fetch is served from
 	// memory; the map barrier pins the progress fraction at 1, so HOP
@@ -689,76 +992,28 @@ func (r *run) runReduceTask(ridx, node int) (res *reduceResult) {
 	// for any worker count.
 	nextSnap := r.spec.SnapshotEvery
 	for _, u := range r.units {
-		segs := u.parts[ridx]
-		size := u.partBytes[ridx]
-		if size > 0 {
+		if u.partBytes[ridx] > 0 {
 			r.memFetches.Add(1)
-			var records int64
-			switch {
-			case smr != nil:
-				for _, seg := range segs {
-					records += int64(kvenc.Count(seg))
-					smr.Consume(seg)
-				}
-				rt.ChargeCPU(model.CPUOps(model.CPUParseByte, size))
-			default:
-				for _, seg := range segs {
-					it := kvenc.NewIterator(seg)
-					for {
-						k, v, more := it.Next()
-						if !more {
-							break
-						}
-						records++
-						switch {
-						case mrh != nil:
-							mrh.Consume(k, v)
-						case inch != nil:
-							inch.Consume(k, v)
-						default:
-							dinch.Consume(k, v)
-						}
-					}
-					if err := it.Err(); err != nil {
-						panic(fmt.Errorf("corrupt shuffle segment from map task %d: %w", u.chunk, err))
-					}
-				}
-				per := model.CPUHashInsert
-				if r.spec.Platform.Incremental() {
-					per += model.CPUCombine
-				}
-				rt.ChargeCPU(model.CPUOps(per, records))
-			}
+			r.feedUnit(rt, red, u, ridx)
 		}
 		r.fetchesDone.Add(1)
 
-		if smr != nil && r.spec.SnapshotEvery > 0 {
+		if red.smr != nil && r.spec.SnapshotEvery > 0 {
 			for nextSnap < 1 {
 				snap := &snapshotWriter{r: r, p: p, st: st}
-				smr.Snapshot(snap)
+				red.smr.Snapshot(snap)
 				snap.flush()
 				nextSnap += r.spec.SnapshotEvery
 			}
 		}
-		if smr != nil && smr.Tree().NeedsMerge() {
-			for smr.Tree().NeedsMerge() {
-				smr.Tree().MergeOnce(p, smr.Charger())
+		if red.smr != nil && red.smr.Tree().NeedsMerge() {
+			for red.smr.Tree().NeedsMerge() {
+				red.smr.Tree().MergeOnce(p, red.smr.Charger())
 			}
 		}
 	}
 
-	switch {
-	case smr != nil:
-		smr.PrepareFinal()
-		smr.Finish(out)
-	case mrh != nil:
-		mrh.Finish(out)
-	case inch != nil:
-		inch.Finish()
-	default:
-		dinch.Finish()
-		res.approxKeys = dinch.ApproxKeys()
-	}
+	r.finishReducer(red, out, res)
 	out.flush()
 	res.span = engine.Span{
 		Name: fmt.Sprintf("reduce%03d", ridx), Kind: "reduce", Node: node,
@@ -785,7 +1040,12 @@ func (r *run) expectedReducerStateBytes() int64 {
 // of per-task integers combined in task order, identical for any worker
 // count; RunningTime, MapFinishTime, WallTime, and Spans are measured
 // wall time.
-func (r *run) report(mapRes []*mapResult, redRes []*reduceResult, mapFinish time.Duration, workers int) *engine.Report {
+//
+// mapDone and redDone hold completed (counted) attempts — including
+// re-executed maps, which count again exactly as on the DES; mapExtra
+// and redExtra hold failed and superseded attempts, which contribute
+// only their I/O accounting (their CPU already went to wastedCPU).
+func (r *run) report(mapDone, mapExtra []*mapResult, redDone, redExtra []*reduceResult, mapFinish time.Duration, workers int) *engine.Report {
 	m := r.model
 	nodes := int64(r.spec.Cluster.Nodes)
 	var c storage.Counters
@@ -795,7 +1055,7 @@ func (r *run) report(mapRes []*mapResult, redRes []*reduceResult, mapFinish time
 		Platform:      r.spec.Platform.String(),
 		MapFinishTime: mapFinish,
 	}
-	for _, mres := range mapRes {
+	for _, mres := range mapDone {
 		c.Add(mres.store.Counters())
 		mapCPU += mres.ledger
 		rep.MapInputRecords += mres.mapped
@@ -805,7 +1065,13 @@ func (r *run) report(mapRes []*mapResult, redRes []*reduceResult, mapFinish time
 		rep.CorruptFramesDetected += mres.store.CorruptFramesDetected()
 		rep.Spans = append(rep.Spans, mres.span)
 	}
-	for _, rres := range redRes {
+	for _, mres := range mapExtra {
+		c.Add(mres.store.Counters())
+		rep.IORetries += mres.store.IORetries()
+		rep.CorruptFramesDetected += mres.store.CorruptFramesDetected()
+		rep.Spans = append(rep.Spans, mres.span)
+	}
+	for _, rres := range redDone {
 		c.Add(rres.store.Counters())
 		reduceCPU += rres.ledger
 		rep.OutputRecords += rres.outRecords
@@ -813,6 +1079,12 @@ func (r *run) report(mapRes []*mapResult, redRes []*reduceResult, mapFinish time
 		rep.IORetries += rres.store.IORetries()
 		rep.CorruptFramesDetected += rres.store.CorruptFramesDetected()
 		rep.Outputs = append(rep.Outputs, rres.outputs...)
+		rep.Spans = append(rep.Spans, rres.span)
+	}
+	for _, rres := range redExtra {
+		c.Add(rres.store.Counters())
+		rep.IORetries += rres.store.IORetries()
+		rep.CorruptFramesDetected += rres.store.CorruptFramesDetected()
 		rep.Spans = append(rep.Spans, rres.span)
 	}
 	rep.MapCPUPerNode = time.Duration(mapCPU / nodes)
@@ -826,6 +1098,16 @@ func (r *run) report(mapRes []*mapResult, redRes []*reduceResult, mapFinish time
 	rep.TotalIORequests = c.TotalReqs()
 	rep.MemShuffleFetches = r.memFetches.Load()
 	rep.SnapshotRecords = r.snapshotRecords.Load()
+	rep.NodesLost = r.nodesLost
+	rep.ReExecutedMapTasks = r.reexecMaps
+	rep.RestartedReduceTasks = int(r.restartedReduces.Load())
+	rep.SpeculativeBackups = int(r.specBackups.Load())
+	rep.SpeculativeWins = int(r.specWins.Load())
+	rep.FetchRetries = r.fetchRetries.Load()
+	rep.WastedCPUPerNode = time.Duration(r.wastedCPU.Load() / nodes)
+	rep.Checkpoints = r.checkpoints.Load()
+	rep.CheckpointBytes = m.LogicalBytes(c.WrittenBytes[storage.Checkpoint])
+	rep.RecoveryReadBytes = m.LogicalBytes(c.ReadBytes[storage.Checkpoint] + r.refetchBytes.Load())
 	for i := 0; i < int(storage.NumIOClasses); i++ {
 		rep.ChecksumOverheadByClass[i] = m.LogicalBytes(c.OverheadBytes[i])
 		rep.ChecksumOverheadBytes += rep.ChecksumOverheadByClass[i]

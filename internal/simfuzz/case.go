@@ -126,6 +126,7 @@ type Case struct {
 	SlowNode      int     `json:"slow_node,omitempty"`
 	SlowFactor    float64 `json:"slow_factor,omitempty"` // ≤1 = none
 	Speculate     bool    `json:"speculate,omitempty"`
+	ShufErrPct    int     `json:"shuf_err_pct,omitempty"` // transient shuffle-error %, real backend only
 	IOErrRate     float64 `json:"io_err_rate,omitempty"`
 	CorruptRate   float64 `json:"corrupt_rate,omitempty"`
 	TornWrites    bool    `json:"torn_writes,omitempty"`
@@ -182,6 +183,17 @@ func (c *Case) taskFaults() bool { return len(c.MapFails) > 0 || len(c.ReduceFai
 func (c *Case) faulted() bool {
 	return c.taskFaults() || c.KillFracPct > 0 || c.SlowFactor > 1 ||
 		c.IOErrRate > 0 || c.CorruptRate > 0 || c.TornWrites || c.CheckpointDiv > 0
+}
+
+// realFaultCompatible reports whether the wall-clock backend can run
+// this case's fault schedule — the seventh differential leg. Disk
+// damage (transient I/O errors, corruption, torn writes) stays
+// DES-only; everything else either carries over verbatim or has a
+// progress-anchored translation (kills), and transient shuffle errors
+// exist only on this leg.
+func (c *Case) realFaultCompatible() bool {
+	return (c.faulted() || c.ShufErrPct > 0) &&
+		c.IOErrRate == 0 && c.CorruptRate == 0 && !c.TornWrites
 }
 
 // hopCompatible reports whether the hop platform can run this case:
@@ -349,6 +361,28 @@ func (c *Case) jobSpec(pl engine.Platform, input dfs.Input, workers int, withFau
 	}
 	if c.CheckpointDiv > 0 {
 		spec.CheckpointEvery = maxDur(mapFinish/time.Duration(c.CheckpointDiv), time.Millisecond)
+	}
+	return spec
+}
+
+// realJobSpec assembles the faulted submission for the wall-clock
+// backend. The shared fault dimensions (task failures, stragglers,
+// speculation, checkpointing) carry over verbatim from jobSpec; the
+// virtual-time kill translates to its progress-anchored form — the
+// node dies at KillFracPct% of the map phase instead of KillFracPct%
+// of the clean MapFinishTime — and the real-only transient
+// shuffle-error rate is applied. Callers must gate on
+// realFaultCompatible: disk damage has no real-backend translation.
+func (c *Case) realJobSpec(pl engine.Platform, input dfs.Input, mapFinish time.Duration) engine.JobSpec {
+	spec := c.jobSpec(pl, input, 1, true, mapFinish)
+	f := &spec.Faults
+	if len(f.KillNodes) > 0 {
+		f.KillNodes = nil
+		f.KillAtMapProgress = map[int]float64{c.KillNode: float64(c.KillFracPct) / 100}
+	}
+	f.HeartbeatInterval, f.HeartbeatTimeout = 0, 0
+	if c.ShufErrPct > 0 {
+		f.ShuffleErrorRate = float64(c.ShufErrPct) / 100
 	}
 	return spec
 }
@@ -568,6 +602,7 @@ func (c *Case) Normalize() {
 		}
 		c.SlowNode = modInt(c.SlowNode, c.Nodes)
 	}
+	c.ShufErrPct = clampInt(c.ShufErrPct, 0, 50)
 	c.IOErrRate = clampRate(c.IOErrRate)
 	c.CorruptRate = clampRate(c.CorruptRate)
 	if c.CorruptRate > 0 || c.TornWrites {
@@ -649,6 +684,7 @@ func (c *Case) clearFaults() {
 	c.KillNode, c.KillFracPct = 0, 0
 	c.SlowNode, c.SlowFactor = 0, 0
 	c.Speculate = false
+	c.ShufErrPct = 0
 	c.IOErrRate, c.CorruptRate = 0, 0
 	c.TornWrites = false
 	c.DiskClasses = nil

@@ -139,6 +139,9 @@ func genFaults(rng *rand.Rand, c *Case) {
 		c.SlowFactor = 1.5 + rng.Float64()*2.5
 		c.Speculate = rng.Intn(2) == 0
 	}
+	if rng.Intn(10) < 3 {
+		c.ShufErrPct = 2 + rng.Intn(25) // real-backend leg only
+	}
 	if rng.Intn(10) < 4 {
 		c.IOErrRate = 0.01 + rng.Float64()*0.14
 	}

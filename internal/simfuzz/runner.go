@@ -51,9 +51,11 @@ func (v *Verdict) addf(platform, check, format string, args ...any) {
 // verdict. Per platform: a clean run checked against the oracle and
 // the accounting identities; if the case carries a fault schedule, a
 // faulted run (kill/checkpoint times anchored on the clean run's
-// MapFinishTime) checked the same way; and, on one seed-picked
-// platform, a rerun with a different worker-pool size whose Report
-// must be DeepEqual to the base run's.
+// MapFinishTime) checked the same way; a wall-clock backend run —
+// clean for fault-free cases (sixth leg), faulted for schedules both
+// clocks can express (seventh leg) — checked against the same oracle;
+// and, on one seed-picked platform, a rerun with a different
+// worker-pool size whose Report must be DeepEqual to the base run's.
 func RunCase(c Case) Verdict {
 	c = c.Clone()
 	c.Normalize()
@@ -91,12 +93,22 @@ func runPlatform(v *Verdict, c *Case, pl engine.Platform, input dfs.Input, oracl
 	checkAnswers(v, c, name+"/clean", clean, oracle)
 	checkReport(v, c, name+"/clean", clean, false)
 
-	// Sixth differential leg: the wall-clock backend. Every fault-free
-	// case must produce the same canonical answers on real goroutines
-	// with an in-memory shuffle as the DES run and the oracle (fault
-	// plans are simulation-only, so faulted cases skip it).
-	if !c.faulted() {
+	// Sixth differential leg: the wall-clock backend, clean. Every
+	// fault-free case must produce the same canonical answers on real
+	// goroutines with an in-memory shuffle as the DES run and the
+	// oracle.
+	if !c.faulted() && c.ShufErrPct == 0 {
 		checkRealBackend(v, c, name, pl, input, clean, oracle)
+	}
+
+	// Seventh differential leg: the wall-clock backend, faulted. Cases
+	// whose schedule both clocks can express (everything except disk
+	// damage) rerun on real goroutines with the kill translated to its
+	// map-progress anchor plus the real-only transient shuffle errors;
+	// recovery must leave the canonical answers bit-identical to the
+	// oracle. HOP rejects fault plans on both substrates.
+	if c.realFaultCompatible() && pl != engine.HOP {
+		checkRealFaulted(v, c, name, pl, input, clean, oracle)
 	}
 
 	base, kind := clean, "clean"
@@ -183,6 +195,82 @@ func checkRealBackend(v *Verdict, c *Case, name string, pl engine.Platform, inpu
 	}
 	if rep.Workers != workers {
 		v.addf(label, "accounting", "requested %d workers, report says %d", workers, rep.Workers)
+	}
+}
+
+// checkRealFaulted runs the case's fault schedule on the wall-clock
+// backend and holds the recovered answers to the oracle. Canonical
+// answers must survive recovery bit-identically; raw input-side
+// accounting is compared to the DES clean run only without kills
+// (re-executed map attempts re-count their records, on both
+// substrates); and the recovery counters must register exactly the
+// dimensions the case injects — structural triggers make every
+// counter except FetchRetries and SpeculativeWins deterministic, and
+// those two are only checked for forbidden non-zero values.
+func checkRealFaulted(v *Verdict, c *Case, name string, pl engine.Platform, input dfs.Input, clean *engine.Report, oracle []string) {
+	label := name + "/real-faulted"
+	workers := c.Workers2
+	if workers < 1 {
+		workers = 1
+	}
+	rep, err := safeRunReal(realexec.Spec{
+		Job:      c.realJobSpec(pl, input, clean.MapFinishTime),
+		NewQuery: func() mr.Query { return c.newQuery(false) },
+		Workers:  workers,
+	})
+	if err != nil {
+		v.addf(label, "run", "workers=%d: %v", workers, err)
+		return
+	}
+	checkAnswers(v, c, label, rep, oracle)
+	acct := func(format string, args ...any) { v.addf(label, "accounting", format, args...) }
+	if c.KillFracPct == 0 && rep.MapInputRecords != clean.MapInputRecords {
+		acct("no kills scheduled but MapInputRecords=%d, DES clean run mapped %d",
+			rep.MapInputRecords, clean.MapInputRecords)
+	}
+	if rep.QuarantinedRecords != 0 {
+		acct("faulted cases carry no poison but QuarantinedRecords=%d", rep.QuarantinedRecords)
+	}
+	if rep.DiskShuffleFetches != 0 {
+		acct("in-memory shuffle served %d fetches from disk", rep.DiskShuffleFetches)
+	}
+	if rep.OutputRecords != int64(len(rep.Outputs)) {
+		acct("OutputRecords=%d but %d records collected", rep.OutputRecords, len(rep.Outputs))
+	}
+	if rep.Workers != workers {
+		acct("requested %d workers, report says %d", workers, rep.Workers)
+	}
+
+	// Recovery accounting: injected dimensions register, uninjected
+	// ones stay exactly zero.
+	if c.KillFracPct > 0 {
+		if rep.NodesLost != 1 {
+			acct("one node killed but NodesLost=%d", rep.NodesLost)
+		}
+	} else if rep.NodesLost != 0 || rep.ReExecutedMapTasks != 0 {
+		acct("no kills scheduled but NodesLost=%d ReExecutedMapTasks=%d",
+			rep.NodesLost, rep.ReExecutedMapTasks)
+	}
+	if len(c.ReduceFails) > 0 || c.KillFracPct > 0 {
+		if rep.RestartedReduceTasks == 0 {
+			acct("reduce restarts scheduled (fails=%d, killfrac=%d%%) but RestartedReduceTasks=0",
+				len(c.ReduceFails), c.KillFracPct)
+		}
+	} else if rep.RestartedReduceTasks != 0 {
+		acct("no reduce restarts scheduled but RestartedReduceTasks=%d", rep.RestartedReduceTasks)
+	}
+	if !c.Speculate && (rep.SpeculativeBackups != 0 || rep.SpeculativeWins != 0) {
+		acct("speculation off but backups=%d wins=%d", rep.SpeculativeBackups, rep.SpeculativeWins)
+	}
+	if rep.SpeculativeWins > rep.SpeculativeBackups {
+		acct("SpeculativeWins=%d > SpeculativeBackups=%d", rep.SpeculativeWins, rep.SpeculativeBackups)
+	}
+	if c.CheckpointDiv == 0 && (rep.Checkpoints != 0 || rep.CheckpointBytes != 0) {
+		acct("checkpointing off but Checkpoints=%d CheckpointBytes=%d",
+			rep.Checkpoints, rep.CheckpointBytes)
+	}
+	if c.ShufErrPct == 0 && c.KillFracPct == 0 && rep.FetchRetries != 0 {
+		acct("no shuffle faults scheduled but FetchRetries=%d", rep.FetchRetries)
 	}
 }
 

@@ -22,6 +22,7 @@ var shrinkSteps = []shrinkStep{
 	}},
 	{"drop-kill", func(c *Case) bool { ch := c.KillFracPct != 0; c.KillFracPct = 0; return ch }},
 	{"drop-slow", func(c *Case) bool { ch := c.SlowFactor != 0; c.SlowFactor = 0; return ch }},
+	{"drop-shuf-err", func(c *Case) bool { ch := c.ShufErrPct != 0; c.ShufErrPct = 0; return ch }},
 	{"drop-speculate", func(c *Case) bool { ch := c.Speculate; c.Speculate = false; return ch }},
 	{"drop-reduce-fails", func(c *Case) bool { ch := len(c.ReduceFails) > 0; c.ReduceFails = nil; return ch }},
 	{"drop-map-fails", func(c *Case) bool { ch := len(c.MapFails) > 0; c.MapFails = nil; return ch }},

@@ -46,8 +46,9 @@
 //
 // A second execution substrate runs the same five data paths on real
 // goroutines under wall-clock time with an M3R-style in-memory shuffle
-// (RunReal); its answers and counters are conformance-tested against
-// the simulation.
+// (RunReal); its answers and counters — including recovery from
+// injected crashes, stragglers, task failures, and transient shuffle
+// errors — are conformance-tested against the simulation.
 package onepass
 
 import (
@@ -146,16 +147,21 @@ type (
 // Run executes a job to completion on the simulated cluster.
 func Run(job Job) (*Report, error) { return engine.Run(job) }
 
-// RunReal executes a fault-free job on the wall-clock backend: real
-// goroutines, real time, and an M3R-style in-memory shuffle, with the
-// same data paths and the same virtual-time CPU/I/O accounting as the
+// RunReal executes a job on the wall-clock backend: real goroutines,
+// real time, and an M3R-style in-memory shuffle, with the same data
+// paths and the same virtual-time CPU/I/O accounting as the
 // simulation. newQuery must build a fresh Query instance on every call
 // (queries carry per-task scratch state); workers sizes the goroutine
 // pool (0 or 1 = serial). The answer and every counter in the Report
 // are identical for any worker count and match the DES run; only
-// RunningTime, MapFinishTime, WallTime, and Spans are measured wall
-// time. Job.Query is ignored; fault plans and checkpointing are
-// simulation-only and rejected.
+// RunningTime, MapFinishTime, WallTime, Spans, and the two
+// timing-dependent recovery counters (FetchRetries, SpeculativeWins)
+// are measured. Fault plans and checkpointing run here too — kills are
+// anchored on map progress (FaultPlan.KillAtMapProgress) instead of
+// virtual time, and transient shuffle errors (ShuffleErrorRate)
+// replace the DES's disk I/O errors; plans using the DES-only
+// primitives (KillNodes, Disk) are rejected with a precise reason
+// (Job.RealUnsupported). Job.Query is ignored.
 func RunReal(job Job, newQuery func() Query, workers int) (*Report, error) {
 	return realexec.Run(realexec.Spec{Job: job, NewQuery: newQuery, Workers: workers})
 }
