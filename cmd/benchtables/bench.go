@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/bytestore"
 	"repro/internal/frame"
 	"repro/internal/hashfam"
+	"repro/internal/ingest"
 	"repro/internal/kvenc"
 )
 
@@ -58,6 +60,19 @@ func benchKVStream(n int) []byte {
 		data = kvenc.AppendPair(data, key[:], val)
 	}
 	return data
+}
+
+// benchIngestBatch builds one 64-record click batch shaped like the
+// service's POST /v1/events payloads.
+func benchIngestBatch() [][]byte {
+	const per = 64
+	recs := make([][]byte, per)
+	for i := 0; i < per; i++ {
+		ts := int64(1_700_000_000_000) + int64(i)*977
+		recs[i] = []byte(fmt.Sprintf("%013d\tuser%04d\t/page%03d\t200\t%d\tMozilla/4.0",
+			ts, i%7, i%13, 100+i%17))
+	}
+	return recs
 }
 
 // loadBaseline reads the previous report's ns/op by benchmark name. A
@@ -115,6 +130,11 @@ func runBenchJSON(path string) error {
 	}
 	payload := make([]byte, 64<<10)
 	framed := frame.Append(nil, payload)
+	ingestBatch := benchIngestBatch()
+	var ingestBatchBytes int64
+	for _, rec := range ingestBatch {
+		ingestBatchBytes += int64(len(rec))
+	}
 	hashFn := hashfam.NewFamily(1).Fn(0)
 	hashKey := []byte("u0012345")
 
@@ -156,6 +176,39 @@ func runBenchJSON(path string) error {
 				sink += hashFn.Sum64(hashKey)
 			}
 			_ = sink
+		}},
+		{"job/IngestThroughput", ingestBatchBytes, func(b *testing.B) {
+			// The durable ingest path of onepassd: batch encode, CRC32C
+			// frame, write, fsync, periodic segment seal. ns/op is the
+			// latency a client pays before its acknowledgment; MB/s is
+			// single-writer durable ingest bandwidth.
+			factory, validate, err := ingest.StandardQuery("clickcount")
+			if err != nil {
+				b.Fatal(err)
+			}
+			ing, err := ingest.Open(ingest.Config{
+				Dir:              b.TempDir(),
+				QueryName:        "clickcount",
+				NewQuery:         factory,
+				Validate:         validate,
+				SealBytes:        1 << 20,
+				CheckpointEvery:  -1, // isolate the WAL from checkpoint cost
+				MaxInflightBytes: 1 << 40,
+				QueueDepth:       1 << 16,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ing.Ingest(ingestBatch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if err := ing.Drain(context.Background()); err != nil {
+				b.Fatal(err)
+			}
 		}},
 		{"job/SessionizationSM16G", 0, func(b *testing.B) {
 			m := onepass.DefaultModel(1.0 / 4096)

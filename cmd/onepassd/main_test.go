@@ -1,0 +1,100 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// goodArgs returns a valid argument set; tests mutate one field each.
+type argSet struct {
+	addr     string
+	dir      string
+	query    string
+	seal     int64
+	ckpt     int64
+	inflight int64
+	drain    time.Duration
+	addrFile string
+}
+
+func goodArgs(t *testing.T) argSet {
+	return argSet{
+		addr:     "127.0.0.1:0",
+		dir:      t.TempDir(),
+		query:    "clickcount",
+		seal:     64 << 20,
+		ckpt:     256,
+		inflight: 64 << 20,
+		drain:    30 * time.Second,
+	}
+}
+
+func build(a argSet) error {
+	_, _, err := buildConfig(a.addr, a.dir, a.query, a.seal, a.ckpt, a.inflight, a.drain, a.addrFile)
+	return err
+}
+
+func TestBuildConfigValid(t *testing.T) {
+	a := goodArgs(t)
+	cfg, opts, err := buildConfig(a.addr, a.dir, a.query, a.seal, a.ckpt, a.inflight, a.drain, "addr.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Dir != a.dir || cfg.QueryName != "clickcount" || cfg.NewQuery == nil || cfg.Validate == nil {
+		t.Fatalf("config not wired: %+v", cfg)
+	}
+	if cfg.SealBytes != a.seal || cfg.CheckpointEvery != a.ckpt || cfg.MaxInflightBytes != a.inflight {
+		t.Fatalf("sizes not wired: %+v", cfg)
+	}
+	if opts.Addr != a.addr || opts.AddrFile != "addr.txt" || opts.DrainTimeout != a.drain {
+		t.Fatalf("options not wired: %+v", opts)
+	}
+	// Disabled checkpointing is a valid configuration, not an error.
+	a.ckpt = -1
+	if err := build(a); err != nil {
+		t.Fatalf("negative -checkpoint-every should disable, got %v", err)
+	}
+}
+
+// TestBuildConfigErrorsNameFlag asserts each validation failure names
+// the offending flag so the operator knows what to fix.
+func TestBuildConfigErrorsNameFlag(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*argSet)
+		wantSub string
+	}{
+		{"missing wal-dir", func(a *argSet) { a.dir = "" }, "-wal-dir"},
+		{"bad addr", func(a *argSet) { a.addr = "no-port" }, `bad -addr "no-port"`},
+		{"unknown query", func(a *argSet) { a.query = "median" }, `bad -query "median"`},
+		{"zero seal", func(a *argSet) { a.seal = 0 }, "bad -seal-bytes 0"},
+		{"negative seal", func(a *argSet) { a.seal = -4 }, "bad -seal-bytes -4"},
+		{"zero checkpoint", func(a *argSet) { a.ckpt = 0 }, "bad -checkpoint-every 0"},
+		{"zero inflight", func(a *argSet) { a.inflight = 0 }, "bad -max-inflight-bytes 0"},
+		{"zero drain", func(a *argSet) { a.drain = 0 }, "bad -drain-timeout"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := goodArgs(t)
+			tc.mutate(&a)
+			err := build(a)
+			if err == nil {
+				t.Fatalf("want error containing %q, got nil", tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not name the flag (%q)", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestBuildConfigAllQueries(t *testing.T) {
+	for _, q := range []string{"sessionization", "clickcount", "frequsers", "pagefreq", "trigram"} {
+		a := goodArgs(t)
+		a.query = q
+		if err := build(a); err != nil {
+			t.Fatalf("query %s: %v", q, err)
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package core
+
+import "repro/internal/frame"
+
+// FramedImage serializes a state image and wraps it in a single
+// CRC32C frame — the durable checkpoint representation shared by the
+// engine (replicated in-memory images that fault injection may damage)
+// and the ingestion service (checkpoint files beside its WAL). Keeping
+// the framing next to the codec guarantees the two consumers cannot
+// disagree about what a valid image blob looks like.
+func FramedImage(img *StateImage) []byte {
+	return frame.Append(nil, MarshalImage(img))
+}
+
+// DecodeFramedImage decodes a blob produced by FramedImage: exactly
+// one verified frame spanning b, whose payload unmarshals as a state
+// image. A torn tail, a flipped bit, or a truncated payload all fail —
+// an image restores whole or not at all.
+func DecodeFramedImage(b []byte) (*StateImage, error) {
+	payload, err := frame.Decode(b)
+	if err != nil {
+		return nil, err
+	}
+	return UnmarshalImage(payload)
+}

@@ -608,10 +608,8 @@ func (j *job) takeCheckpoint(p *sim.Proc, rs *reduceState, n *node, inch *core.I
 func (j *job) resolveCheckpoint(rs *reduceState) (img *core.StateImage, badBytes int64) {
 	for rs.ckpt != nil {
 		ck := rs.ckpt
-		if payload, err := frame.Decode(ck.framed); err == nil {
-			if img, err = core.UnmarshalImage(payload); err == nil {
-				return img, badBytes
-			}
+		if img, err := core.DecodeFramedImage(ck.framed); err == nil {
+			return img, badBytes
 		}
 		badBytes += ck.stateBytes + ck.bucketSum
 		if ck.torn {

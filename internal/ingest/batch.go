@@ -1,0 +1,61 @@
+package ingest
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrBadBatch reports a WAL batch payload that does not decode. A
+// frame that verified its CRC but fails here means a software bug (or
+// damage beyond CRC32C's guarantee), never a torn write — recovery
+// refuses to guess and fails loudly.
+var ErrBadBatch = errors.New("ingest: malformed batch payload")
+
+// Batch payload layout, carried as one CRC32C frame per WAL append:
+//
+//	[seq uvarint][count uvarint]([len uvarint][record bytes])*
+//
+// seq is the global batch sequence number (1-based, monotone across
+// segments); recovery asserts contiguity so a lost sealed segment can
+// never be skipped silently.
+
+// appendBatch encodes one batch onto dst.
+func appendBatch(dst []byte, seq int64, records [][]byte) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	dst = append(dst, tmp[:binary.PutUvarint(tmp[:], uint64(seq))]...)
+	dst = append(dst, tmp[:binary.PutUvarint(tmp[:], uint64(len(records)))]...)
+	for _, rec := range records {
+		dst = append(dst, tmp[:binary.PutUvarint(tmp[:], uint64(len(rec)))]...)
+		dst = append(dst, rec...)
+	}
+	return dst
+}
+
+// decodeBatch decodes a batch payload. Records alias p.
+func decodeBatch(p []byte) (seq int64, records [][]byte, err error) {
+	u, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, nil, ErrBadBatch
+	}
+	seq = int64(u)
+	p = p[n:]
+	count, n := binary.Uvarint(p)
+	if n <= 0 || count > uint64(len(p)) {
+		return 0, nil, ErrBadBatch
+	}
+	p = p[n:]
+	records = make([][]byte, 0, count)
+	for i := uint64(0); i < count; i++ {
+		ln, n := binary.Uvarint(p)
+		if n <= 0 || ln > uint64(len(p)-n) {
+			return 0, nil, ErrBadBatch
+		}
+		records = append(records, p[n:n+int(ln):n+int(ln)])
+		p = p[n+int(ln):]
+	}
+	if len(p) != 0 {
+		return 0, nil, fmt.Errorf("%w: %d trailing bytes", ErrBadBatch, len(p))
+	}
+	return seq, records, nil
+}

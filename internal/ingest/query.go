@@ -1,0 +1,71 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/mr"
+	"repro/internal/queries"
+)
+
+// ErrBadRecord reports an input record rejected before admission;
+// the HTTP layer maps it to 400.
+var ErrBadRecord = errors.New("ingest: bad record")
+
+// maxRecordBytes bounds one record so a single request line cannot
+// blow the byte budget's granularity.
+const maxRecordBytes = 64 << 10
+
+// ValidateClick vets the click-log record layout the click queries
+// assume: `ts(13) \t user(8) \t url \t status \t bytes \t agent` with
+// a 13-digit millisecond timestamp.
+func ValidateClick(rec []byte) error {
+	if len(rec) < 24 {
+		return fmt.Errorf("%w: click record shorter than 24 bytes", ErrBadRecord)
+	}
+	if len(rec) > maxRecordBytes {
+		return fmt.Errorf("%w: record exceeds %d bytes", ErrBadRecord, maxRecordBytes)
+	}
+	if rec[13] != '\t' || rec[22] != '\t' {
+		return fmt.Errorf("%w: click record field separators misplaced", ErrBadRecord)
+	}
+	for _, c := range rec[:13] {
+		if c < '0' || c > '9' {
+			return fmt.Errorf("%w: click timestamp is not 13 digits", ErrBadRecord)
+		}
+	}
+	return nil
+}
+
+// ValidateLine vets free-text records (trigram counting).
+func ValidateLine(rec []byte) error {
+	if len(rec) == 0 {
+		return fmt.Errorf("%w: empty record", ErrBadRecord)
+	}
+	if len(rec) > maxRecordBytes {
+		return fmt.Errorf("%w: record exceeds %d bytes", ErrBadRecord, maxRecordBytes)
+	}
+	return nil
+}
+
+// StandardQuery maps a query name to its factory and record validator,
+// using the same names and default parameters as cmd/onepass.
+func StandardQuery(name string) (factory func() mr.Query, validate func([]byte) error, err error) {
+	switch name {
+	case "sessionization":
+		return func() mr.Query {
+			return queries.NewSessionization(5*time.Minute, 512, 5*time.Second)
+		}, ValidateClick, nil
+	case "clickcount":
+		return queries.NewClickCount, ValidateClick, nil
+	case "frequsers":
+		return func() mr.Query { return queries.NewFrequentUsers(50) }, ValidateClick, nil
+	case "pagefreq":
+		return queries.NewPageFrequency, ValidateClick, nil
+	case "trigram":
+		return func() mr.Query { return queries.NewTrigramCount(1000) }, ValidateLine, nil
+	default:
+		return nil, nil, fmt.Errorf("ingest: unknown query %q (want sessionization|clickcount|frequsers|pagefreq|trigram)", name)
+	}
+}

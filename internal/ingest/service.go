@@ -1,0 +1,575 @@
+package ingest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/frame"
+	"repro/internal/mr"
+)
+
+// Sentinel errors surfaced to the HTTP layer.
+var (
+	// ErrOverloaded means the batch was shed by admission control
+	// (byte budget or fold queue full) — HTTP 429, retry later. The
+	// batch was NOT written to the WAL.
+	ErrOverloaded = errors.New("ingest: overloaded, retry later")
+	// ErrDraining means the service is shutting down and no longer
+	// accepts batches.
+	ErrDraining = errors.New("ingest: draining")
+	// ErrEmptyBatch rejects a batch with no records.
+	ErrEmptyBatch = errors.New("ingest: empty batch")
+)
+
+// Config configures an Ingester. Zero values take the defaults noted;
+// negative values disable where noted.
+type Config struct {
+	// Dir is the WAL + checkpoint directory (required).
+	Dir string
+	// QueryName labels the query in stats.
+	QueryName string
+	// NewQuery constructs the resident query (required; must implement
+	// mr.Incremental). A factory, not an instance: recovery and crash
+	// tests build fresh instances with clean scratch state.
+	NewQuery func() mr.Query
+	// Validate, if non-nil, vets each record before admission.
+	Validate func(rec []byte) error
+	// SealBytes seals the open WAL segment once it reaches this size.
+	// Default 4 MiB.
+	SealBytes int64
+	// CheckpointEvery takes a checkpoint after folding every Nth
+	// batch. Default 256; negative disables checkpointing.
+	CheckpointEvery int64
+	// MaxInflightBytes bounds accepted-but-unfolded record bytes;
+	// beyond it batches are shed with ErrOverloaded. Default 64 MiB.
+	MaxInflightBytes int64
+	// QueueDepth bounds the fold queue in batches. Default 256.
+	QueueDepth int
+	// RetainCheckpoints keeps this many newest checkpoints (and the
+	// WAL segments they need). Default 2, minimum 1.
+	RetainCheckpoints int
+	// ScanEvery runs the scavenger every N folded records. Default
+	// 4096; negative disables.
+	ScanEvery int64
+	// Fail injects crash/overload faults (tests only).
+	Fail *Failpoints
+}
+
+func (cfg *Config) withDefaults() error {
+	if cfg.Dir == "" {
+		return errors.New("ingest: Config.Dir is required")
+	}
+	if cfg.NewQuery == nil {
+		return errors.New("ingest: Config.NewQuery is required")
+	}
+	if cfg.SealBytes <= 0 {
+		cfg.SealBytes = 4 << 20
+	}
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = 256
+	}
+	if cfg.MaxInflightBytes <= 0 {
+		cfg.MaxInflightBytes = 64 << 20
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 256
+	}
+	if cfg.RetainCheckpoints < 1 {
+		cfg.RetainCheckpoints = 2
+	}
+	if cfg.ScanEvery == 0 {
+		cfg.ScanEvery = 4096
+	}
+	return nil
+}
+
+// RecoveryInfo describes what Open had to do to reach a consistent
+// state. RecoveryReadBytes counts only WAL bytes actually read — the
+// post-checkpoint suffix — which the crash tests assert never covers
+// segments the newest checkpoint already subsumes.
+type RecoveryInfo struct {
+	RestoredSeq                 int64 `json:"restored_seq"` // 0 = no checkpoint
+	RestoredSeg                 int64 `json:"restored_seg"`
+	RestoredOff                 int64 `json:"restored_off"`
+	ReplayedBatches             int64 `json:"replayed_batches"`
+	ReplayedRecords             int64 `json:"replayed_records"`
+	RecoveryReadBytes           int64 `json:"recovery_read_bytes"`
+	SkippedSegmentBytes         int64 `json:"skipped_segment_bytes"`
+	TornTailsTruncated          int64 `json:"torn_tails_truncated"`
+	CheckpointsDiscardedTorn    int64 `json:"checkpoints_discarded_torn"`
+	CheckpointsDiscardedCorrupt int64 `json:"checkpoints_discarded_corrupt"`
+}
+
+// ckptRef remembers a durable checkpoint's identity for retention.
+type ckptRef struct{ seq, seg int64 }
+
+// pending is one acknowledged batch waiting to be folded.
+type pending struct {
+	seq      int64
+	seg, off int64 // WAL position just past the batch
+	bytes    int64
+	records  [][]byte
+}
+
+// Ingester is the crash-recoverable ingestion service: WAL-then-ack
+// on the request path, an asynchronous resident fold behind a bounded
+// queue, periodic checkpoints, and recovery in Open.
+type Ingester struct {
+	cfg    Config
+	folder *folder
+
+	mu       sync.Mutex // serializes WAL appends + seq assignment + lifecycle
+	w        *wal
+	nextSeq  int64
+	draining bool
+	closed   bool  // queue closed
+	failErr  error // set when wedged; all ingestion refused
+
+	aborted  atomic.Bool
+	inflight atomic.Int64
+
+	ackedBatches atomic.Int64
+	ackedRecords atomic.Int64
+
+	queue    chan pending
+	foldDone chan struct{}
+
+	// Written only by the fold goroutine (and Open before it starts);
+	// read by Drain after foldDone closes.
+	lastSeg, lastOff int64
+	lastCkptSeq      int64
+	ckptMeta         []ckptRef
+
+	m metrics
+
+	// Recovery reports what Open did; immutable afterwards.
+	Recovery RecoveryInfo
+}
+
+// metrics are the service's monotonic counters (atomic: bumped from
+// the request path and the fold goroutine, snapshotted by /metricsz).
+type metrics struct {
+	acceptedBatches, acceptedRecords, acceptedBytes atomic.Int64
+	shedBatches, shedBytes                          atomic.Int64
+	rejectedRecords                                 atomic.Int64
+	foldedBatches, foldedRecords                    atomic.Int64
+	checkpoints, checkpointBytes                    atomic.Int64
+}
+
+// Open recovers the directory to a consistent state and starts the
+// service: restore the newest good checkpoint, replay the WAL suffix
+// after it (asserting batch-sequence contiguity), truncate a torn
+// tail on the final segment only, and refuse to start over corruption
+// or a torn tail in a sealed segment.
+func Open(cfg Config) (*Ingester, error) {
+	if err := cfg.withDefaults(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	f, err := newFolder(cfg.QueryName, cfg.NewQuery, cfg.ScanEvery)
+	if err != nil {
+		return nil, err
+	}
+	s := &Ingester{
+		cfg:      cfg,
+		folder:   f,
+		queue:    make(chan pending, cfg.QueueDepth),
+		foldDone: make(chan struct{}),
+	}
+
+	ck, torn, corrupt, err := loadCheckpointChain(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	s.Recovery.CheckpointsDiscardedTorn = torn
+	s.Recovery.CheckpointsDiscardedCorrupt = corrupt
+	startSeg, startOff := int64(1), int64(0)
+	if ck != nil {
+		if err := f.restore(ck); err != nil {
+			return nil, err
+		}
+		startSeg, startOff = ck.Seg, ck.Off
+		s.Recovery.RestoredSeq = ck.Seq
+		s.Recovery.RestoredSeg = ck.Seg
+		s.Recovery.RestoredOff = ck.Off
+		s.lastCkptSeq = ck.Seq
+		s.ckptMeta = append(s.ckptMeta, ckptRef{ck.Seq, ck.Seg})
+	}
+
+	segs, err := listSegments(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 {
+		if ck != nil {
+			return nil, fmt.Errorf("ingest: checkpoint %d references segment %s but the WAL is empty", ck.Seq, segName(ck.Seg))
+		}
+	} else if ck == nil {
+		startSeg = segs[0]
+	}
+
+	expected := f.foldedBatches + 1
+	lastSeg, lastEnd := startSeg, startOff
+	sawStart := len(segs) == 0 // vacuously fine on a fresh directory
+	prev := int64(-1)
+	for _, idx := range segs {
+		if idx < startSeg {
+			if st, err := os.Stat(filepath.Join(cfg.Dir, segName(idx))); err == nil {
+				s.Recovery.SkippedSegmentBytes += st.Size()
+			}
+			continue
+		}
+		if idx == startSeg {
+			sawStart = true
+		} else if prev >= 0 && idx != prev+1 {
+			return nil, fmt.Errorf("ingest: WAL gap: segment %s follows %s", segName(idx), segName(prev))
+		}
+		prev = idx
+
+		off0 := int64(0)
+		if idx == startSeg {
+			off0 = startOff
+		}
+		path := filepath.Join(cfg.Dir, segName(idx))
+		data, err := readSuffix(path, off0)
+		if err != nil {
+			return nil, err
+		}
+		s.Recovery.RecoveryReadBytes += int64(len(data))
+		var replayErr error
+		res := frame.ScanTail(data, func(p []byte) {
+			if replayErr != nil {
+				return
+			}
+			seq, recs, err := decodeBatch(p)
+			if err != nil {
+				replayErr = fmt.Errorf("%w (segment %s)", err, segName(idx))
+				return
+			}
+			if seq != expected {
+				replayErr = fmt.Errorf("ingest: WAL replay expected batch %d, found %d in %s", expected, seq, segName(idx))
+				return
+			}
+			f.fold(seq, recs)
+			s.Recovery.ReplayedBatches++
+			s.Recovery.ReplayedRecords += int64(len(recs))
+			expected++
+		})
+		if replayErr != nil {
+			return nil, replayErr
+		}
+		last := idx == segs[len(segs)-1]
+		switch {
+		case res.Reason == frame.ScanClean:
+		case last && res.Reason == frame.ScanTorn:
+			if err := os.Truncate(path, off0+res.Good); err != nil {
+				return nil, err
+			}
+			s.Recovery.TornTailsTruncated++
+		default:
+			return nil, &SegmentError{Segment: segName(idx), Offset: off0 + res.Good, Reason: res.Reason}
+		}
+		lastSeg, lastEnd = idx, off0+res.Good
+	}
+	if !sawStart {
+		return nil, fmt.Errorf("ingest: checkpoint %d references missing segment %s", s.Recovery.RestoredSeq, segName(startSeg))
+	}
+
+	w, err := openWALAt(cfg.Dir, lastSeg, lastEnd, cfg.SealBytes, cfg.Fail)
+	if err != nil {
+		return nil, err
+	}
+	s.w = w
+	s.nextSeq = expected
+	s.lastSeg, s.lastOff = lastSeg, lastEnd
+	s.ackedBatches.Store(expected - 1)
+	s.ackedRecords.Store(f.foldedRecords)
+	s.m.foldedBatches.Store(s.Recovery.ReplayedBatches)
+	s.m.foldedRecords.Store(s.Recovery.ReplayedRecords)
+
+	go s.foldLoop()
+	return s, nil
+}
+
+// Ingest validates, admits, and durably appends one batch, returning
+// its sequence number once it is fsynced (the acknowledgment point).
+// The service retains records until folded; callers must not reuse
+// their backing arrays. ErrOverloaded means nothing was persisted.
+func (s *Ingester) Ingest(records [][]byte) (int64, error) {
+	if len(records) == 0 {
+		return 0, ErrEmptyBatch
+	}
+	var size int64
+	for _, rec := range records {
+		if s.cfg.Validate != nil {
+			if err := s.cfg.Validate(rec); err != nil {
+				s.m.rejectedRecords.Add(1)
+				return 0, err
+			}
+		}
+		size += int64(len(rec))
+	}
+	// Byte-budget admission: reserve before touching the WAL, release
+	// on any failure. This is what keeps memory bounded under a stalled
+	// folder — accepted-but-unfolded bytes can never exceed the budget.
+	if s.inflight.Add(size) > s.cfg.MaxInflightBytes {
+		s.inflight.Add(-size)
+		s.m.shedBatches.Add(1)
+		s.m.shedBytes.Add(size)
+		return 0, ErrOverloaded
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failErr != nil {
+		s.inflight.Add(-size)
+		return 0, s.failErr
+	}
+	if s.draining {
+		s.inflight.Add(-size)
+		return 0, ErrDraining
+	}
+	if len(s.queue) == cap(s.queue) {
+		s.inflight.Add(-size)
+		s.m.shedBatches.Add(1)
+		s.m.shedBytes.Add(size)
+		return 0, ErrOverloaded
+	}
+	seq := s.nextSeq
+	seg, off, err := s.w.append(seq, records)
+	if err != nil {
+		s.inflight.Add(-size)
+		s.wedgeLocked(err)
+		return 0, err
+	}
+	s.nextSeq++
+	s.ackedBatches.Add(1)
+	s.ackedRecords.Add(int64(len(records)))
+	s.m.acceptedBatches.Add(1)
+	s.m.acceptedRecords.Add(int64(len(records)))
+	s.m.acceptedBytes.Add(size)
+	s.queue <- pending{seq: seq, seg: seg, off: off, bytes: size, records: records}
+	return seq, nil
+}
+
+// foldLoop drains acknowledged batches into the resident fold and
+// takes periodic checkpoints. A checkpoint failure wedges the service
+// and stops folding — mirroring a crash, which is exactly what the
+// failpoint tests simulate.
+func (s *Ingester) foldLoop() {
+	defer close(s.foldDone)
+	for p := range s.queue {
+		if fp := s.cfg.Fail; fp != nil && fp.FoldDelay != nil && !s.aborted.Load() {
+			fp.FoldDelay(p.seq)
+		}
+		if s.aborted.Load() {
+			s.inflight.Add(-p.bytes)
+			continue
+		}
+		s.folder.fold(p.seq, p.records)
+		s.lastSeg, s.lastOff = p.seg, p.off
+		s.m.foldedBatches.Add(1)
+		s.m.foldedRecords.Add(int64(len(p.records)))
+		s.inflight.Add(-p.bytes)
+		if s.cfg.CheckpointEvery > 0 && p.seq%s.cfg.CheckpointEvery == 0 {
+			if err := s.writeCkpt(p.seg, p.off); err != nil {
+				s.mu.Lock()
+				s.wedgeLocked(err)
+				s.mu.Unlock()
+				return
+			}
+		}
+	}
+}
+
+// writeCkpt snapshots the fold, persists it at WAL position (seg,
+// off), and prunes the checkpoint/segment chain. Fold goroutine only.
+func (s *Ingester) writeCkpt(seg, off int64) error {
+	ck := s.folder.snapshot()
+	ck.Seg, ck.Off = seg, off
+	n, err := writeCheckpoint(s.cfg.Dir, ck, s.cfg.Fail)
+	if err != nil {
+		return err
+	}
+	s.m.checkpoints.Add(1)
+	s.m.checkpointBytes.Add(n)
+	s.lastCkptSeq = ck.Seq
+	s.ckptMeta = append(s.ckptMeta, ckptRef{ck.Seq, ck.Seg})
+	if len(s.ckptMeta) > s.cfg.RetainCheckpoints {
+		s.ckptMeta = s.ckptMeta[len(s.ckptMeta)-s.cfg.RetainCheckpoints:]
+	}
+	segs := make([]int64, len(s.ckptMeta))
+	for i, r := range s.ckptMeta {
+		segs[i] = r.seg
+	}
+	pruneCheckpoints(s.cfg.Dir, s.cfg.RetainCheckpoints, segs)
+	return nil
+}
+
+// wedgeLocked records a fatal error; every later Ingest returns it
+// and Healthy reports it. Callers hold s.mu.
+func (s *Ingester) wedgeLocked(err error) {
+	if s.failErr == nil {
+		s.failErr = err
+	}
+}
+
+// Drain stops admission, folds everything already acknowledged, takes
+// a final checkpoint, seals the open segment, and closes the WAL. On
+// success every acknowledged batch is folded (γ = 1) and a subsequent
+// Open replays nothing. The context bounds the wait.
+func (s *Ingester) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.draining = true
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	select {
+	case <-s.foldDone:
+	case <-ctx.Done():
+		return fmt.Errorf("ingest: drain: %w", ctx.Err())
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failErr != nil {
+		return s.failErr
+	}
+	if s.cfg.CheckpointEvery > 0 && s.folder.foldedBatches > s.lastCkptSeq {
+		if err := s.writeCkpt(s.lastSeg, s.lastOff); err != nil {
+			s.wedgeLocked(err)
+			return err
+		}
+	}
+	if err := s.w.seal(); err != nil {
+		s.wedgeLocked(err)
+		return err
+	}
+	if err := s.w.close(); err != nil {
+		s.wedgeLocked(err)
+		return err
+	}
+	return nil
+}
+
+// Abort simulates the process dying in place (tests): the WAL file is
+// closed without flushing, queued batches are discarded unfolded, and
+// no further checkpoints are written. The directory is left exactly as
+// kill -9 would — reopen it with Open.
+func (s *Ingester) Abort() {
+	s.aborted.Store(true)
+	s.mu.Lock()
+	s.wedgeLocked(errors.New("ingest: aborted"))
+	s.draining = true
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.w.abort()
+	s.mu.Unlock()
+	<-s.foldDone
+}
+
+// Healthy reports whether the service can accept writes.
+func (s *Ingester) Healthy() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failErr != nil {
+		return s.failErr
+	}
+	if s.draining {
+		return ErrDraining
+	}
+	return nil
+}
+
+// Stats returns the served answers plus coverage counters; see
+// folder.stats for the limit semantics.
+func (s *Ingester) Stats(limit int) Stats {
+	st := s.folder.stats(limit)
+	st.AckedBatches = s.ackedBatches.Load()
+	st.AckedRecords = s.ackedRecords.Load()
+	st.Gamma = gamma(st.FoldedRecords, st.AckedRecords)
+	return st
+}
+
+// gamma is folded/acked clamped to [0, 1]; an idle service is exact.
+func gamma(folded, acked int64) float64 {
+	if acked <= 0 {
+		return 1
+	}
+	g := float64(folded) / float64(acked)
+	if g > 1 {
+		g = 1
+	}
+	return g
+}
+
+// MetricsSnapshot is the /metricsz payload.
+type MetricsSnapshot struct {
+	Query            string       `json:"query"`
+	Gamma            float64      `json:"gamma"`
+	AcceptedBatches  int64        `json:"accepted_batches"`
+	AcceptedRecords  int64        `json:"accepted_records"`
+	AcceptedBytes    int64        `json:"accepted_bytes"`
+	ShedBatches      int64        `json:"shed_batches"`
+	ShedBytes        int64        `json:"shed_bytes"`
+	RejectedRecords  int64        `json:"rejected_records"`
+	FoldedBatches    int64        `json:"folded_batches"`
+	FoldedRecords    int64        `json:"folded_records"`
+	InflightBytes    int64        `json:"inflight_bytes"`
+	QueueDepth       int          `json:"queue_depth"`
+	WALSegment       int64        `json:"wal_segment"`
+	WALOffset        int64        `json:"wal_offset"`
+	WALSeals         int64        `json:"wal_seals"`
+	WALSyncs         int64        `json:"wal_syncs"`
+	WALAppendedBytes int64        `json:"wal_appended_bytes"`
+	Checkpoints      int64        `json:"checkpoints"`
+	CheckpointBytes  int64        `json:"checkpoint_bytes"`
+	Draining         bool         `json:"draining"`
+	Wedged           string       `json:"wedged,omitempty"`
+	Recovery         RecoveryInfo `json:"recovery"`
+}
+
+// Metrics snapshots the service counters.
+func (s *Ingester) Metrics() MetricsSnapshot {
+	snap := MetricsSnapshot{
+		Query:           s.cfg.QueryName,
+		Gamma:           gamma(s.m.foldedRecords.Load(), s.ackedRecords.Load()),
+		AcceptedBatches: s.m.acceptedBatches.Load(),
+		AcceptedRecords: s.m.acceptedRecords.Load(),
+		AcceptedBytes:   s.m.acceptedBytes.Load(),
+		ShedBatches:     s.m.shedBatches.Load(),
+		ShedBytes:       s.m.shedBytes.Load(),
+		RejectedRecords: s.m.rejectedRecords.Load(),
+		FoldedBatches:   s.m.foldedBatches.Load(),
+		FoldedRecords:   s.m.foldedRecords.Load(),
+		InflightBytes:   s.inflight.Load(),
+		QueueDepth:      len(s.queue),
+		Checkpoints:     s.m.checkpoints.Load(),
+		CheckpointBytes: s.m.checkpointBytes.Load(),
+		Recovery:        s.Recovery,
+	}
+	s.mu.Lock()
+	if s.w != nil {
+		snap.WALSegment = s.w.seg
+		snap.WALOffset = s.w.off
+		snap.WALSeals = s.w.seals
+		snap.WALSyncs = s.w.syncs
+		snap.WALAppendedBytes = s.w.appendedBytes
+	}
+	snap.Draining = s.draining
+	if s.failErr != nil {
+		snap.Wedged = s.failErr.Error()
+	}
+	s.mu.Unlock()
+	return snap
+}
