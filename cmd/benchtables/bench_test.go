@@ -10,8 +10,11 @@ import (
 
 func TestLoadBaseline(t *testing.T) {
 	dir := t.TempDir()
+	// Run from an empty directory so the committed-BENCH.json fallback
+	// (a cwd-relative lookup) cannot leak into the assertions.
+	t.Chdir(dir)
 
-	if got := loadBaseline(filepath.Join(dir, "missing.json")); len(got) != 0 {
+	if got := loadBaseline("", filepath.Join(dir, "missing.json")); len(got) != 0 {
 		t.Errorf("missing file: want empty baseline, got %v", got)
 	}
 
@@ -19,7 +22,7 @@ func TestLoadBaseline(t *testing.T) {
 	if err := os.WriteFile(corrupt, []byte("{not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if got := loadBaseline(corrupt); len(got) != 0 {
+	if got := loadBaseline("", corrupt); len(got) != 0 {
 		t.Errorf("corrupt file: want empty baseline, got %v", got)
 	}
 
@@ -31,9 +34,40 @@ func TestLoadBaseline(t *testing.T) {
 	if err := writeBenchReport(valid, rep); err != nil {
 		t.Fatal(err)
 	}
-	got := loadBaseline(valid)
+	got := loadBaseline("", valid)
 	if got["a"] != 100 || got["b"] != 2.5 || len(got) != 2 {
 		t.Errorf("round trip: got %v", got)
+	}
+}
+
+// TestLoadBaselineChain pins the fallback order: an explicit baseline
+// wins per name, the output path fills names the explicit file lacks,
+// and the committed BENCH.json in the working directory backstops
+// both — the path a CI run writing to a scratch file relies on.
+func TestLoadBaselineChain(t *testing.T) {
+	dir := t.TempDir()
+	t.Chdir(dir)
+
+	write := func(name string, entries []benchEntry) string {
+		path := filepath.Join(dir, name)
+		if err := writeBenchReport(path, &benchReport{Benchmarks: entries}); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	explicit := write("explicit.json", []benchEntry{{Name: "a", NsPerOp: 1}})
+	out := write("out.json", []benchEntry{{Name: "a", NsPerOp: 10}, {Name: "b", NsPerOp: 20}})
+	write("BENCH.json", []benchEntry{{Name: "a", NsPerOp: 100}, {Name: "b", NsPerOp: 200}, {Name: "c", NsPerOp: 300}})
+
+	got := loadBaseline(explicit, out)
+	if got["a"] != 1 || got["b"] != 20 || got["c"] != 300 || len(got) != 3 {
+		t.Errorf("chain merge: got %v, want a=1 b=20 c=300", got)
+	}
+
+	// No explicit file, missing output path: the committed file alone.
+	got = loadBaseline("", filepath.Join(dir, "missing.json"))
+	if got["c"] != 300 || len(got) != 3 {
+		t.Errorf("committed fallback: got %v", got)
 	}
 }
 

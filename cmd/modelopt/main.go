@@ -60,4 +60,13 @@ func main() {
 	fmt.Printf("\npaper's §3.2 rules of thumb:\n")
 	fmt.Printf("  chunk:      largest C with C·Km ≤ Bm  → %.0fMB\n", model.RecommendedChunk(w, h)/1e6)
 	fmt.Printf("  merge:      one-pass factor           → F=%d\n", model.OnePassFactor(w, h, *r))
+
+	saved := model.NodeCombineSavedFrac(w, *n)
+	verdict := "off (below threshold)"
+	if saved >= model.NodeCombineThreshold {
+		verdict = "on"
+	}
+	fmt.Printf("\nin-node combining (shuffle floor N·Kr·D vs map output Km·D):\n")
+	fmt.Printf("  predicted shuffle saving: %.0f%%  → auto mode resolves %s (threshold %.0f%%)\n",
+		100*saved, verdict, 100*model.NodeCombineThreshold)
 }

@@ -9,6 +9,13 @@
 // Queries: sessionization, clickcount, frequsers, pagefreq, trigram.
 // Platforms: sm, hop, mr-hash, inc-hash, dinc-hash.
 //
+// -node-combine=on folds every node's local map outputs into one
+// merged run before the shuffle (combinable queries only; auto defers
+// to the analytical model's predicted saving), and -agg-fanin=F folds
+// F consecutive nodes' runs through the first — the report then shows
+// the pairs folded, the shuffle bytes saved, and the per-node shuffle
+// breakdown.
+//
 // -backend=real runs the job on real goroutines under wall-clock time
 // with an in-memory shuffle instead of the discrete-event simulation;
 // answers and counters match the simulated run, while the reported
@@ -53,6 +60,8 @@ func main() {
 		rFlag       = flag.Int("r", 4, "reducers per node R")
 		traceFlag   = flag.String("trace", "", "write a Chrome trace (chrome://tracing) of task spans to this file")
 		workersFlag = flag.Int("workers", 0, "compute-pool goroutines (0=GOMAXPROCS, 1=serial; results identical)")
+		combFlag    = flag.String("node-combine", "off", "in-node combine stage: off | on | auto (cost-model gated; combinable queries only)")
+		fanInFlag   = flag.Int("agg-fanin", 0, "hierarchical aggregation fan-in: fold F consecutive nodes' combined runs through the first (0/1 = per-node only; needs -node-combine)")
 
 		killFlag = flag.String("kill-node", "", "crash nodes: idx@virtual-time on sim (9@2m30s), idx@map-progress%% on real (9@60%%)")
 		shufFlag = flag.Float64("shuffle-error-rate", 0, "per-fetch probability of a transient shuffle-read error (real backend only)")
@@ -146,6 +155,19 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown query %q", *queryFlag))
 	}
+	// Kr (reduce output:input ratio) feeds the node-combine auto gate:
+	// the count-style outputs here are ~24-byte rows, one per distinct
+	// key, so Kr ≈ 24·K / D. Sessionization never combines (no combine
+	// function), so the estimate is harmless there.
+	if hints.Kr == 0 && hints.DistinctKeys > 0 {
+		hints.Kr = 24 * float64(hints.DistinctKeys) / *dataFlag
+	}
+
+	combMode, err := onepass.ParseNodeCombineMode(*combFlag)
+	if err != nil {
+		fatal(err)
+	}
+
 	if input == nil {
 		input = onepass.SyntheticClickStream(onepass.ClickStreamSpec{
 			PhysBytes: m.ScaleBytes(int64(*dataFlag)),
@@ -182,6 +204,8 @@ func main() {
 		Faults:          faults,
 		CheckpointEvery: *ckptFlag,
 		SkipBadRecords:  *skipFlag,
+		NodeCombine:     combMode,
+		AggFanIn:        *fanInFlag,
 	}
 	var rep *onepass.Report
 	switch *backendFlag {
@@ -255,6 +279,20 @@ func printReport(rep *onepass.Report) {
 	fmt.Printf("reduce spill(U4) %7.1f GB\n", float64(rep.ReduceSpillBytes)/1e9)
 	fmt.Printf("output     (U5)  %7.1f GB (%d records)\n", float64(rep.OutputBytes)/1e9, rep.OutputRecords)
 	fmt.Printf("shuffle fetches  %d from memory, %d from disk\n", rep.MemShuffleFetches, rep.DiskShuffleFetches)
+
+	if rep.NodeCombineInputRecords > 0 {
+		fmt.Printf("node combine     %d map pairs folded to %d (%.1fx), %.2f GB shuffle saved\n",
+			rep.NodeCombineInputRecords, rep.NodeCombineOutputRecords,
+			float64(rep.NodeCombineInputRecords)/float64(rep.NodeCombineOutputRecords),
+			float64(rep.ShuffleBytesSaved)/1e9)
+	}
+	if len(rep.ShuffleBytesByNode) > 0 {
+		fmt.Printf("shuffle by node ")
+		for i, b := range rep.ShuffleBytesByNode {
+			fmt.Printf(" n%d=%.2fGB", i, float64(b)/1e9)
+		}
+		fmt.Println()
+	}
 
 	if rep.NodesLost > 0 || rep.RestartedReduceTasks > 0 || rep.ReExecutedMapTasks > 0 ||
 		rep.Checkpoints > 0 || rep.SpeculativeBackups > 0 || rep.FetchRetries > 0 {

@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/cost"
 	"repro/internal/dfs"
+	"repro/internal/model"
 	"repro/internal/mr"
 	"repro/internal/storage"
 )
@@ -198,7 +199,63 @@ type JobSpec struct {
 	// quarantine — a poison record fails the job loudly.
 	SkipBadRecords int64
 
+	// NodeCombine selects the in-node combine stage (Lee et al.'s
+	// in-node combiner): every local map task's output on a node is
+	// absorbed into one per-node hash table and a single merged,
+	// partitioned run per node enters the shuffle. It applies only to
+	// combinable queries (mr.Combiner) on the non-pipelining platforms;
+	// elsewhere NodeCombineOn and NodeCombineAuto are exact no-ops.
+	// Answers are bit-identical to the per-task path; shuffle volume,
+	// CPU, and time change, and the savings are recorded in
+	// Report.NodeCombine* / ShuffleBytesSaved.
+	NodeCombine NodeCombineMode
+
+	// AggFanIn enables tree/rack-style hierarchical aggregation on top
+	// of node combining: nodes are grouped F-way by index, each group's
+	// first node folds the group's combined runs into one before the
+	// final reducers see anything. 0 or 1 disables the tree. Requires
+	// NodeCombine on (or auto) and a fault-free plan.
+	AggFanIn int
+
 	Seed int64
+}
+
+// NodeCombineMode selects whether the in-node combine stage runs.
+type NodeCombineMode int
+
+// Node-combine modes. Auto consults the cost model: combining is
+// enabled when the predicted shuffle-byte saving from the job's K_m
+// hint (pairs per distinct key) clears model.NodeCombineThreshold.
+const (
+	NodeCombineOff NodeCombineMode = iota
+	NodeCombineOn
+	NodeCombineAuto
+)
+
+// String returns the flag spelling of the mode.
+func (m NodeCombineMode) String() string {
+	switch m {
+	case NodeCombineOff:
+		return "off"
+	case NodeCombineOn:
+		return "on"
+	case NodeCombineAuto:
+		return "auto"
+	}
+	return "node-combine?"
+}
+
+// ParseNodeCombineMode parses the -node-combine flag spelling.
+func ParseNodeCombineMode(s string) (NodeCombineMode, error) {
+	switch s {
+	case "off", "":
+		return NodeCombineOff, nil
+	case "on":
+		return NodeCombineOn, nil
+	case "auto":
+		return NodeCombineAuto, nil
+	}
+	return NodeCombineOff, errSpec("node-combine mode must be off, on, or auto")
 }
 
 // Validate fills defaults in place and rejects invalid specs. It is
@@ -315,6 +372,26 @@ func (s *JobSpec) validate() error {
 	}
 	if s.SkipBadRecords < 0 {
 		return errSpec("skip-bad-records budget must be ≥ 0")
+	}
+	if s.NodeCombine < NodeCombineOff || s.NodeCombine > NodeCombineAuto {
+		return errSpec("unknown node-combine mode")
+	}
+	if s.AggFanIn < 0 {
+		return errSpec("agg fan-in must be ≥ 0")
+	}
+	if s.AggFanIn > 1 {
+		if s.NodeCombine == NodeCombineOff {
+			return errSpec("hierarchical aggregation requires node-combine on or auto")
+		}
+		if s.Platform == HOP {
+			return errSpec("hierarchical aggregation is not supported on the hop platform")
+		}
+		if f.Active() {
+			// The aggregation tree folds runs across nodes; a mid-tree
+			// node loss would need cross-node re-execution machinery the
+			// tree does not have. Reject rather than mis-simulate.
+			return errSpec("hierarchical aggregation requires a fault-free plan")
+		}
 	}
 	d := &f.Disk
 	if d.IOErrorRate < 0 || d.IOErrorRate >= 1 {
@@ -605,6 +682,36 @@ func (s *JobSpec) RealUnsupported() string {
 // ticks would interleave with job events and perturb recorded metrics.
 func (f *FaultPlan) needsTracker() bool {
 	return len(f.KillNodes) > 0 || f.Speculate
+}
+
+// nodeCombinable reports whether the in-node combine stage can apply
+// at all: the query must be an mr.Combiner — its map output pairs are
+// partial aggregates (combined values, or merged states on the
+// incremental platforms) that a node-level fold can merge further —
+// and the platform must hold complete map outputs until task
+// completion. HOP pipelines spills eagerly as they are produced, so
+// there is no whole per-node output to merge.
+func (s *JobSpec) nodeCombinable() bool {
+	if s.Platform == HOP {
+		return false
+	}
+	_, isComb := s.Query.(mr.Combiner)
+	return isComb
+}
+
+// NodeCombineActive resolves the spec's NodeCombine mode against the
+// query, the platform, and (for auto) the cost model's predicted
+// shuffle-byte saving from the K_m/K_r hints. Both substrates resolve
+// through here, so a job combines on either backend or on neither.
+func (s *JobSpec) NodeCombineActive() bool {
+	switch {
+	case s.NodeCombine == NodeCombineOff || !s.nodeCombinable():
+		return false
+	case s.NodeCombine == NodeCombineAuto:
+		w := model.Workload{D: 1, Km: s.Hints.Km, Kr: s.Hints.Kr}
+		return model.NodeCombineSavedFrac(w, s.Cluster.Nodes) >= model.NodeCombineThreshold
+	}
+	return true
 }
 
 type errSpec string

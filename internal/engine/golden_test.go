@@ -21,17 +21,26 @@ var updateGolden = flag.Bool("update", false, "rewrite the golden Report snapsho
 // are the only fields allowed to vary with the host (pool size, real
 // time). Everything left must be bit-for-bit reproducible.
 func goldenReport(t *testing.T, pl Platform) *Report {
+	return goldenVariantReport(t, pl, NodeCombineOff, 0)
+}
+
+// goldenVariantReport is goldenReport with the node-combine knobs
+// exposed: the ".ncomb" golden files pin the combine stage's fold,
+// hierarchical aggregation, and every derived counter.
+func goldenVariantReport(t *testing.T, pl Platform, mode NodeCombineMode, fanIn int) *Report {
 	t.Helper()
 	m := testModel()
 	cl := testCluster(m)
 	cl.ProgressInterval = 2 * time.Second // keep the Progress curve short
 	rep, err := Run(JobSpec{
-		Query:    queries.NewClickCount(),
-		Input:    testClicks(t, 96<<10, 12<<10),
-		Platform: pl,
-		Cluster:  cl,
-		Hints:    mr.Hints{Km: 0.1, DistinctKeys: 400},
-		Seed:     1,
+		Query:       queries.NewClickCount(),
+		Input:       testClicks(t, 96<<10, 12<<10),
+		Platform:    pl,
+		Cluster:     cl,
+		Hints:       mr.Hints{Km: 0.1, DistinctKeys: 400},
+		Seed:        1,
+		NodeCombine: mode,
+		AggFanIn:    fanIn,
 	})
 	if err != nil {
 		t.Fatalf("clickcount on %v: %v", pl, err)
@@ -61,6 +70,49 @@ func TestGoldenReports(t *testing.T) {
 				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 					t.Fatal(err)
 				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d bytes)", path, len(got))
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if string(got) != string(want) {
+				t.Errorf("report drifted from %s:\n%s", path, diffLines(string(want), string(got)))
+			}
+		})
+	}
+}
+
+// TestGoldenNodeCombineReports snapshots the same canonical job with
+// the in-node combine stage on — flat on MR-hash, hierarchical
+// (fan-in 3) on INC-hash — pinning the fold's published runs, the
+// combine counters, ShuffleBytesSaved, and the per-node shuffle
+// attribution against drift.
+func TestGoldenNodeCombineReports(t *testing.T) {
+	variants := []struct {
+		pl    Platform
+		fanIn int
+	}{
+		{MRHash, 0},
+		{INCHash, 3},
+	}
+	for _, v := range variants {
+		t.Run(v.pl.String(), func(t *testing.T) {
+			rep := goldenVariantReport(t, v.pl, NodeCombineOn, v.fanIn)
+			if rep.NodeCombineInputRecords == 0 {
+				t.Fatal("combine stage did not run")
+			}
+			got, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			path := filepath.Join("testdata", "golden", v.pl.String()+".ncomb.json")
+			if *updateGolden {
 				if err := os.WriteFile(path, got, 0o644); err != nil {
 					t.Fatal(err)
 				}

@@ -28,6 +28,11 @@ type job struct {
 
 	inputBytesEst int64
 
+	// combine is the in-node combine plan; nil unless the spec resolves
+	// node combining on (combinable query, non-HOP platform, fault-free
+	// plan). See nodecombine.go.
+	combine *combinePlan
+
 	mapsDone         int
 	fetchesDone      int64
 	memFetches       int64
@@ -42,6 +47,12 @@ type job struct {
 	mapFinish        int64
 	approxKeys       int64
 	snapshotRecords  int64
+
+	// In-node combine accounting (physical bytes; rescaled at report).
+	ncInRecords   int64
+	ncOutRecords  int64
+	ncSavedBytes  int64
+	shuffleByNode []int64 // physical shuffle bytes published, per serving node
 
 	// Recovery accounting (fault-injected runs).
 	nodesLost        int
@@ -148,6 +159,14 @@ func Run(spec JobSpec) (*Report, error) {
 	// assumes).
 	placement := dfs.NewPlacement(cfg.Nodes, cfg.Replication)
 	assign := dfs.NewAssignment(spec.Input, placement)
+	j.shuffleByNode = make([]int64, cfg.Nodes)
+	// In-node combining runs only on fault-free plans (checkpointing
+	// included): under any fault plan the job falls back to per-task
+	// publication so loss recovery stays per-task, and NodeCombineOn is
+	// a counter-exact no-op.
+	if spec.NodeCombineActive() && !faults.Active() {
+		j.combine = newCombinePlan(j, assign)
+	}
 	for c := 0; c < j.totalMaps; c++ {
 		chunk := c
 		n := j.nodes[assign.Node(chunk)]

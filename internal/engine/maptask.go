@@ -98,6 +98,7 @@ type segMapResult struct {
 	pairs       []byte    // kvenc stream of Map emissions, in order
 	marks       []recMark // one per input record (watermarked queries only)
 	records     int64
+	pairsN      int64 // emitted pairs (collector Add calls) in the segment
 	quarantined int64 // bad records skipped under the quarantine budget
 }
 
@@ -144,6 +145,7 @@ func (j *job) mapRecord(line []byte, wm mr.Watermarker, out *segMapResult) {
 		out.pairs = kvenc.AppendPair(out.pairs, k, v)
 		emitted++
 	})
+	out.pairsN += int64(emitted)
 	if wm != nil {
 		out.marks = append(out.marks, recMark{ts: wm.RecordTime(line), pairs: emitted})
 	}
@@ -352,9 +354,13 @@ func (j *job) runMapAttempt(p *sim.Proc, chunk int, n *node, attempt int, fail, 
 		case j.spec.Platform == SortMerge || j.spec.Platform == HOP:
 			// Sorting CPU is charged inside the collector at spill time.
 		case hashCombining:
-			cpu += model.CPUOps(model.CPUHashInsert+model.CPUCombine, t.out.records)
+			// Per emitted pair, not per input record: the collector
+			// touches its table once per Add call. Charging per record
+			// billed a combine for records that emitted nothing and
+			// missed the table work of multi-emission records.
+			cpu += model.CPUOps(model.CPUHashInsert+model.CPUCombine, t.out.pairsN)
 		default:
-			cpu += model.CPUOps(model.CPUHashInsert, t.out.records)
+			cpu += model.CPUOps(model.CPUHashInsert, t.out.pairsN)
 		}
 		n.chargeCPU(p, cpu, &ledger)
 		bytestore.Put(t.out.pairs) // replay copied every pair into the collector
@@ -384,13 +390,31 @@ func (j *job) runMapAttempt(p *sim.Proc, chunk int, n *node, attempt int, fail, 
 	j.mapInputRecords += mapped
 	j.mapOutputRecords += emitted
 	j.quarantined += quarantined
+	if j.combine != nil && hop == nil {
+		// Node-combine: the output parks at the node's combiner instead
+		// of entering the shuffle; the node's last deposit triggers the
+		// fold, and the merged run publishes for every covered task (the
+		// shuffle's completion count is released there, not here). Only
+		// fault-free plans combine, so there is no claim race and no
+		// declared-dead rollback to handle.
+		if tr := j.tracker; tr != nil {
+			tr.mstates[chunk].done = true
+		}
+		j.mapCPU += ledger
+		j.mapsDone++
+		if j.mapsDone == j.totalMaps {
+			j.mapFinish = p.Now()
+		}
+		j.combine.deposit(chunk, n, parts, emitted)
+		return mapDone, p.Now() - start
+	}
 	if hop == nil {
 		if tr := j.tracker; tr != nil {
 			// Claim the task before the publish I/O parks, so a racing
 			// backup cannot double-publish.
 			tr.mstates[chunk].done = true
 		}
-		o := j.publishMapOutput(p, n, fmt.Sprintf("map%06d.a%d.out", chunk, attempt), chunk, parts, emitted)
+		o := j.publishMapOutput(p, n, fmt.Sprintf("map%06d.a%d.out", chunk, attempt), chunk, nil, parts, emitted)
 		if tr := j.tracker; tr != nil {
 			ms := tr.mstates[chunk]
 			if n.declaredDead {
@@ -423,11 +447,13 @@ func (j *job) runMapAttempt(p *sim.Proc, chunk int, n *node, attempt int, fail, 
 // publishMapOutput writes the per-partition segments to the node's
 // disk (U3, for fault tolerance) and registers the output with the
 // shuffle service. task is the map task index (-1 for HOP spill
-// pushes, which are never re-executed).
-func (j *job) publishMapOutput(p substrate.Proc, n *node, name string, task int, parts [][][]byte, records int64) *mapOutput {
+// pushes, which are never re-executed, and for node-combined runs,
+// which instead carry the covered task set in tasks).
+func (j *job) publishMapOutput(p substrate.Proc, n *node, name string, task int, tasks []int, parts [][][]byte, records int64) *mapOutput {
 	o := &mapOutput{
 		node:      n,
 		task:      task,
+		tasks:     tasks,
 		parts:     parts,
 		partBytes: make([]int64, len(parts)),
 		partOff:   make([]int64, len(parts)),
@@ -454,6 +480,9 @@ func (j *job) publishMapOutput(p substrate.Proc, n *node, name string, task int,
 		n.store.AppendFrames(p, o.file, all, storage.MapOutput, o.partBytes)
 	}
 	bytestore.Put(all) // AppendFrames copied the bytes into the file
+	for _, b := range o.partBytes {
+		j.shuffleByNode[n.idx] += b
+	}
 	n.cacheAdd(o)
 	j.shuffle.publish(o)
 	return o
@@ -555,7 +584,7 @@ func (h *hopCollector) push() {
 	}
 	h.emitted += emitted
 	h.spills++
-	h.j.publishMapOutput(h.rt.P, h.n, fmt.Sprintf("map%06d.push%d", h.chunk, h.spills), -1, parts, emitted)
+	h.j.publishMapOutput(h.rt.P, h.n, fmt.Sprintf("map%06d.push%d", h.chunk, h.spills), -1, nil, parts, emitted)
 }
 
 // Finish implements collector: HOP publishes incrementally, so the

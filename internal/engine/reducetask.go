@@ -375,7 +375,13 @@ func (j *job) runReduceAttempt(p *sim.Proc, rs *reduceState, attempt int, inject
 			}
 			o = nil
 			for _, cand := range j.shuffle.outputs {
-				if cand.task < 0 || cand.lost || rs.consumed[cand.task] {
+				if cand.lost || (cand.tasks == nil && cand.task < 0) {
+					continue
+				}
+				// A node-combined run covers several tasks, marked
+				// atomically below — its first covered task stands in
+				// for the whole set.
+				if rs.consumed[outputTask(cand)] {
 					continue
 				}
 				o = cand
@@ -429,10 +435,10 @@ func (j *job) runReduceAttempt(p *sim.Proc, rs *reduceState, attempt int, inject
 			if rs.everFetched == nil {
 				rs.everFetched = make([]bool, j.totalMaps)
 			}
-			if rs.everFetched[o.task] {
+			if rs.everFetched[outputTask(o)] {
 				j.refetchBytes += size // recovery traffic: fetched before, by a lost attempt
 			} else {
-				rs.everFetched[o.task] = true
+				rs.everFetched[outputTask(o)] = true
 			}
 			var records int64
 			switch {
@@ -474,8 +480,15 @@ func (j *job) runReduceAttempt(p *sim.Proc, rs *reduceState, attempt int, inject
 				n.chargeCPU(p, model.CPUOps(per, records), &ledger)
 			}
 		}
-		rs.consumed[o.task] = true
-		rs.consumedN++
+		if o.tasks != nil {
+			for _, task := range o.tasks {
+				rs.consumed[task] = true
+			}
+			rs.consumedN += len(o.tasks)
+		} else {
+			rs.consumed[o.task] = true
+			rs.consumedN++
+		}
 		j.fetchesDone++
 		j.shuffle.release(o)
 
@@ -535,6 +548,16 @@ func (j *job) runReduceAttempt(p *sim.Proc, rs *reduceState, attempt int, inject
 	out.sync()
 	j.reduceCPU += ledger
 	return reduceDone
+}
+
+// outputTask is the consumed-set index an output is tracked under: its
+// map task, or a node-combined run's first covered task (the whole set
+// is marked together, so one representative suffices).
+func outputTask(o *mapOutput) int {
+	if o.tasks != nil {
+		return o.tasks[0]
+	}
+	return o.task
 }
 
 // takeCheckpoint snapshots the incremental reducer's state (key→state

@@ -49,6 +49,20 @@ type Report struct {
 	MemShuffleFetches  int64
 	DiskShuffleFetches int64
 
+	// In-node combine accounting (zero unless the node-combine stage
+	// ran). InputRecords counts the map output pairs absorbed by the
+	// per-node tables, OutputRecords the pairs in the merged runs that
+	// actually entered the shuffle, and ShuffleBytesSaved the logical
+	// shuffle volume the fold removed (absorbed minus published bytes).
+	NodeCombineInputRecords  int64
+	NodeCombineOutputRecords int64
+	ShuffleBytesSaved        int64
+
+	// ShuffleBytesByNode attributes the published shuffle volume
+	// (logical bytes) to the node that served it, so combine savings
+	// are attributable to skewed nodes. Nil when no shuffle occurred.
+	ShuffleBytesByNode []int64
+
 	// Recovery accounting (fault-injected runs; all zero otherwise).
 	NodesLost            int           // nodes declared dead by the failure detector
 	ReExecutedMapTasks   int           // completed maps re-run after their output was lost
@@ -132,6 +146,10 @@ func (j *job) report(s *metrics.Sampler) *Report {
 		MemShuffleFetches:  j.memFetches,
 		DiskShuffleFetches: j.diskFetches,
 
+		NodeCombineInputRecords:  j.ncInRecords,
+		NodeCombineOutputRecords: j.ncOutRecords,
+		ShuffleBytesSaved:        m.LogicalBytes(j.ncSavedBytes),
+
 		NodesLost:            j.nodesLost,
 		ReExecutedMapTasks:   j.reexecMaps,
 		RestartedReduceTasks: j.restartedReduces,
@@ -156,6 +174,16 @@ func (j *job) report(s *metrics.Sampler) *Report {
 		Samples: s.Samples(),
 		Outputs: j.outputs,
 		Spans:   j.spans,
+	}
+	var shuffleTotal int64
+	for _, b := range j.shuffleByNode {
+		shuffleTotal += b
+	}
+	if shuffleTotal > 0 {
+		r.ShuffleBytesByNode = make([]int64, len(j.shuffleByNode))
+		for i, b := range j.shuffleByNode {
+			r.ShuffleBytesByNode[i] = m.LogicalBytes(b)
+		}
 	}
 	for _, n := range j.nodes {
 		r.IORetries += n.store.IORetries()

@@ -23,8 +23,13 @@ type mapOutput struct {
 	refs     int // partitions not yet fetched by all reducers
 
 	// task is the map task index this output came from (-1 for HOP
-	// spill pushes, which are never re-executed).
+	// spill pushes, which are never re-executed, and for node-combined
+	// runs).
 	task int
+	// tasks is the ascending set of map tasks a node-combined run
+	// covers (nil for per-task outputs and HOP pushes). Reducers
+	// consume all of them atomically.
+	tasks []int
 	// lost marks the output unfetchable: its node died before every
 	// reducer got its partition. Reducers skip lost outputs; the
 	// tracker re-executes the task if anyone still needs it.

@@ -158,7 +158,7 @@ func (t *tracker) declare(n *node) {
 func (t *tracker) tearCheckpoints(n *node) {
 	d := &t.j.spec.Faults.Disk
 	for _, rs := range t.rstates {
-		
+
 		if rs.done || rs.node != n || rs.ckpt == nil || rs.ckpt.torn {
 			continue
 		}

@@ -16,6 +16,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table1", "fig2", "fig2d", "fig2ef", "fig4ab", "fig4c",
 		"fig4de", "fig4f", "sec32r", "table3", "fig7d", "table4", "fig7f",
 		"hopsnap", "coverage", "windows", "recovery", "integrity",
+		"nodecombine",
 	}
 	for _, id := range want {
 		if _, ok := Get(id); !ok {
@@ -169,6 +170,39 @@ func TestIntegrityShapes(t *testing.T) {
 	}
 	if !identical || !overhead {
 		t.Fatalf("missing integrity findings: %v", res.Findings)
+	}
+}
+
+func TestNodeCombineShapes(t *testing.T) {
+	res, err := Get2(t, "nodecombine").Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("nodecombine rows: %d", len(res.Rows))
+	}
+	// runNodeCombine itself errors unless the high-duplication end cuts
+	// the shuffle >= 2x, the auto gate flips off somewhere in the
+	// sweep, and auto agrees with the model at every point; the
+	// findings must record the reduction and the gate behavior.
+	var reduction, gate bool
+	for _, f := range res.Findings {
+		if strings.Contains(f, "2x reduction") {
+			reduction = true
+		}
+		if strings.Contains(f, "auto gate") {
+			gate = true
+		}
+	}
+	if !reduction || !gate {
+		t.Fatalf("missing nodecombine findings: %v", res.Findings)
+	}
+	// The sparse end of the table must resolve auto=off, the dense end on.
+	if got := res.Rows[0][len(res.Rows[0])-1]; got != "on" {
+		t.Fatalf("dense end auto = %q, want on", got)
+	}
+	if got := res.Rows[4][len(res.Rows[4])-1]; got != "off" {
+		t.Fatalf("sparse end auto = %q, want off", got)
 	}
 }
 

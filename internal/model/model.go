@@ -178,3 +178,29 @@ func OnePassFactor(w Workload, h Hardware, r int) int {
 func (p Params) String() string {
 	return fmt.Sprintf("R=%d C=%.0fMB F=%d", p.R, p.C/1e6, p.F)
 }
+
+// NodeCombineThreshold is the predicted shuffle-byte saving fraction
+// above which the node-combine auto mode turns combining on. Below it
+// the fold's CPU cost outweighs the bytes it removes.
+const NodeCombineThreshold = 0.25
+
+// NodeCombineSavedFrac predicts the fraction of shuffle bytes an
+// in-node combine stage removes, from the job's reduction ratios: the
+// uncombined shuffle carries Km·D bytes, and per-node combining
+// collapses each node's share to no less than the encoded distinct key
+// set, itself estimated by the reduce output Kr·D — in the worst case
+// every key appears on every one of the n nodes, so the combined
+// shuffle floor is n·Kr·D. A zero Kr means the ratio is unknown and
+// the prediction is conservatively 0 (no saving claimed). The result
+// is in [0, 1).
+func NodeCombineSavedFrac(w Workload, n int) float64 {
+	if w.Km <= 0 || w.Kr <= 0 || w.D <= 0 || n < 1 {
+		return 0
+	}
+	floor := float64(n) * w.Kr * w.D
+	out := w.Km * w.D
+	if floor >= out {
+		return 0
+	}
+	return 1 - floor/out
+}

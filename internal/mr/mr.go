@@ -115,6 +115,11 @@ type Scavenger interface {
 type Hints struct {
 	// Km is the expected map output:input size ratio.
 	Km float64
+	// Kr is the expected reduce output:input size ratio (0 = unknown).
+	// Besides memory planning, Km/Kr feed the node-combine auto mode:
+	// per-node combining pays off when the map output is much larger
+	// than the distinct key set it collapses to.
+	Kr float64
 	// DistinctKeys is the expected number of distinct keys (the
 	// paper's K), cluster-wide.
 	DistinctKeys int64

@@ -20,8 +20,10 @@
 //     straggler node races one backup on a healthy peer. Both
 //     attempts run to completion and the claim is taken only at
 //     publish, so each attempt's ledger — and therefore wastedCPU —
-//     is identical whichever side wins; only SpeculativeWins (and
-//     FetchRetries under kills) remain timing-dependent.
+//     is identical whichever side wins; only SpeculativeWins, the
+//     per-node shuffle attribution (ShuffleBytesByNode follows the
+//     winning node), and FetchRetries under kills remain
+//     timing-dependent.
 //
 // Everything else — what a task computes, what it publishes, what a
 // reducer consumes and in what order — is the clean path, so answers
@@ -545,7 +547,11 @@ func (r *run) takeCheckpoint(p substrate.Proc, st *storage.Store, task *rtask, r
 		framed:     frame.Append(nil, payload),
 		consumed:   append([]bool(nil), consumed...),
 		consumedN:  consumedN,
-		stateBytes: img.StateBytes() + int64(len(r.units))*consumedBitBytes,
+		// The consumed-set image covers one bit per map task, matching
+		// the engine's per-task consumed array — under node combining
+		// there are fewer shuffle units than tasks, but a checkpoint
+		// still records which tasks' output is folded into the state.
+		stateBytes: img.StateBytes() + int64(r.totalMaps)*consumedBitBytes,
 		bucketLens: img.BucketLens(),
 	}
 	write := ck.stateBytes

@@ -21,16 +21,19 @@ func chaosJob(t testing.TB, pl engine.Platform) engine.JobSpec {
 	return job
 }
 
-// faultedStable strips, on top of stableReport, the two counters that
-// are genuinely timing-dependent under fault injection: FetchRetries
-// (backoff rounds while a lost unit re-executes) and SpeculativeWins
-// (which twin claims first). Everything else — including wasted CPU,
-// checkpoint counts, and re-execution accounting — must be identical
-// for any worker count.
+// faultedStable strips, on top of stableReport, the counters that are
+// genuinely timing-dependent under fault injection: FetchRetries
+// (backoff rounds while a lost unit re-executes), SpeculativeWins
+// (which twin claims first), and ShuffleBytesByNode (the published
+// bytes follow the winning attempt's node, so speculation moves them
+// between the straggler and its backup). Everything else — including
+// wasted CPU, checkpoint counts, and re-execution accounting — must
+// be identical for any worker count.
 func faultedStable(rep *engine.Report) *engine.Report {
 	s := stableReport(rep)
 	s.FetchRetries = 0
 	s.SpeculativeWins = 0
+	s.ShuffleBytesByNode = nil
 	return s
 }
 

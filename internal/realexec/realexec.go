@@ -112,6 +112,10 @@ type run struct {
 	globalWM int64
 	hasWM    bool
 
+	// comb is the barrier-time in-node combine plan; nil unless the
+	// spec resolves node combining on. See nodecombine.go.
+	comb *rcombine
+
 	fnRecords       atomic.Int64
 	memFetches      atomic.Int64
 	fetchesDone     atomic.Int64
@@ -175,6 +179,9 @@ func Run(s Spec) (*engine.Report, error) {
 
 	placement := dfs.NewPlacement(cfg.Nodes, cfg.Replication)
 	assign := dfs.NewAssignment(spec.Input, placement)
+	if spec.NodeCombineActive() {
+		r.comb = newRCombine(r, assign)
+	}
 
 	// Map phase: fan the chunks over the worker pool; each task owns
 	// its store, proc, query, and ledger. Faulted runs execute attempt
@@ -213,6 +220,18 @@ func Run(s Spec) (*engine.Report, error) {
 		r.units = append(r.units, mres.units...)
 		if mres.hasTS && (!r.hasWM || mres.maxTS > r.globalWM) {
 			r.globalWM, r.hasWM = mres.maxTS, true
+		}
+	}
+	// In-node combine: fold the deposited map outputs into one published
+	// run per aggregation group before the shuffle order is fixed.
+	var combRes []*rcResult
+	if r.comb != nil && len(r.comb.groups) > 0 {
+		combRes = r.comb.fold(mapRes, workers)
+		for _, cr := range combRes {
+			if cr.err != nil {
+				return nil, cr.err
+			}
+			r.units = append(r.units, cr.unit)
 		}
 	}
 	sort.Slice(r.units, func(i, j int) bool {
@@ -301,7 +320,7 @@ func Run(s Spec) (*engine.Report, error) {
 	if len(reexecRes) > 0 {
 		mapDone = append(append(make([]*mapResult, 0, len(mapRes)+len(reexecRes)), mapRes...), reexecRes...)
 	}
-	return r.report(mapDone, mapExtra, redRes, redExtra, mapFinish, workers), nil
+	return r.report(mapDone, mapExtra, redRes, redExtra, combRes, mapFinish, workers), nil
 }
 
 // forEach runs fn(0) … fn(n-1) on up to workers goroutines.
@@ -360,6 +379,10 @@ type mapResult struct {
 	node   int
 	units  []*unit
 	ledger int64
+
+	// parts holds the finished output of a combine-eligible task: it
+	// deposits here for the barrier fold instead of publishing a unit.
+	parts [][][]byte
 
 	mapped, emitted, quarantined int64
 	maxTS                        int64
@@ -442,6 +465,7 @@ func (r *run) runMapAttempt(chunk, node, attempt int, inject bool, claim *atomic
 			end = int64(len(data))
 		}
 		st.ChargeInputRead(p, end-off)
+		pairsBefore := t.pairs
 		records := t.segment(data[off:end])
 		if qb := r.spec.SkipBadRecords; qb > 0 && res.quarantined > qb {
 			panic(fmt.Errorf("map task %d quarantined %d records, over the %d budget",
@@ -453,9 +477,11 @@ func (r *run) runMapAttempt(chunk, node, attempt int, inject bool, claim *atomic
 		case r.spec.Platform == engine.SortMerge || r.spec.Platform == engine.HOP:
 			// Sorting CPU is charged inside the collector at spill time.
 		case hashCombining:
-			cpu += model.CPUOps(model.CPUHashInsert+model.CPUCombine, records)
+			// Per emitted pair, not per input record: the collector
+			// touches its table once per Add call (the engine's rule).
+			cpu += model.CPUOps(model.CPUHashInsert+model.CPUCombine, t.pairs-pairsBefore)
 		default:
-			cpu += model.CPUOps(model.CPUHashInsert, records)
+			cpu += model.CPUOps(model.CPUHashInsert, t.pairs-pairsBefore)
 		}
 		rt.ChargeCPU(cpu)
 		off = end
@@ -489,8 +515,15 @@ func (r *run) runMapAttempt(chunk, node, attempt int, inject bool, claim *atomic
 		return res
 	}
 	if hop == nil {
-		res.units = append(res.units,
-			r.publish(p, st, fmt.Sprintf("map%06d.a%d.out", chunk, attempt), chunk, 0, parts))
+		if r.comb != nil && r.comb.elig[chunk] {
+			// Node-combine: the output parks for the barrier fold instead
+			// of publishing; no U3 write happens here — the merged run is
+			// the only MapOutput-class write, exactly as on the engine.
+			res.parts = parts
+		} else {
+			res.units = append(res.units,
+				r.publish(p, st, fmt.Sprintf("map%06d.a%d.out", chunk, attempt), chunk, 0, parts))
+		}
 	}
 	res.span = engine.Span{
 		Name: fmt.Sprintf("map%06d#%d", chunk, attempt), Kind: "map", Node: node,
@@ -507,6 +540,7 @@ type mapTask struct {
 	wm      mr.Watermarker
 	coll    collector
 	scratch []byte
+	pairs   int64 // collector Add calls (emitted pairs) so far
 }
 
 // segment feeds every record of one read segment through the map
@@ -554,6 +588,7 @@ func (t *mapTask) record(line []byte) {
 			break
 		}
 		t.coll.Add(k, v)
+		t.pairs++
 	}
 	if err := it.Err(); err != nil {
 		// The pairs never left memory: a broken stream is a bug.
@@ -1045,7 +1080,7 @@ func (r *run) expectedReducerStateBytes() int64 {
 // re-executed maps, which count again exactly as on the DES; mapExtra
 // and redExtra hold failed and superseded attempts, which contribute
 // only their I/O accounting (their CPU already went to wastedCPU).
-func (r *run) report(mapDone, mapExtra []*mapResult, redDone, redExtra []*reduceResult, mapFinish time.Duration, workers int) *engine.Report {
+func (r *run) report(mapDone, mapExtra []*mapResult, redDone, redExtra []*reduceResult, combRes []*rcResult, mapFinish time.Duration, workers int) *engine.Report {
 	m := r.model
 	nodes := int64(r.spec.Cluster.Nodes)
 	var c storage.Counters
@@ -1055,6 +1090,7 @@ func (r *run) report(mapDone, mapExtra []*mapResult, redDone, redExtra []*reduce
 		Platform:      r.spec.Platform.String(),
 		MapFinishTime: mapFinish,
 	}
+	shufByNode := make([]int64, r.spec.Cluster.Nodes)
 	for _, mres := range mapDone {
 		c.Add(mres.store.Counters())
 		mapCPU += mres.ledger
@@ -1064,6 +1100,37 @@ func (r *run) report(mapDone, mapExtra []*mapResult, redDone, redExtra []*reduce
 		rep.IORetries += mres.store.IORetries()
 		rep.CorruptFramesDetected += mres.store.CorruptFramesDetected()
 		rep.Spans = append(rep.Spans, mres.span)
+		for _, u := range mres.units {
+			for _, b := range u.partBytes {
+				shufByNode[mres.node] += b
+			}
+		}
+	}
+	// Combine folds count in group order, like the engine's fold order.
+	var savedPhys int64
+	for _, cr := range combRes {
+		c.Add(cr.store.Counters())
+		mapCPU += cr.ledger
+		rep.NodeCombineInputRecords += cr.inPairs
+		rep.NodeCombineOutputRecords += cr.outPairs
+		savedPhys += cr.deposited - cr.published
+		rep.IORetries += cr.store.IORetries()
+		rep.CorruptFramesDetected += cr.store.CorruptFramesDetected()
+		rep.Spans = append(rep.Spans, cr.spans...)
+		for _, b := range cr.unit.partBytes {
+			shufByNode[cr.node] += b
+		}
+	}
+	rep.ShuffleBytesSaved = m.LogicalBytes(savedPhys)
+	var shufTotal int64
+	for _, b := range shufByNode {
+		shufTotal += b
+	}
+	if shufTotal > 0 {
+		rep.ShuffleBytesByNode = make([]int64, len(shufByNode))
+		for i, b := range shufByNode {
+			rep.ShuffleBytesByNode[i] = m.LogicalBytes(b)
+		}
 	}
 	for _, mres := range mapExtra {
 		c.Add(mres.store.Counters())

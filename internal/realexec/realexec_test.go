@@ -129,6 +129,52 @@ func TestGoldenRealReports(t *testing.T) {
 	}
 }
 
+// TestGoldenRealNodeCombineReports snapshots the canonical job with
+// the in-node combine stage on — flat on MR-hash, hierarchical
+// (fan-in 3) on INC-hash — mirroring the engine's ".ncomb" goldens so
+// the wall-clock fold, its counters, and the combined answer are
+// pinned too.
+func TestGoldenRealNodeCombineReports(t *testing.T) {
+	variants := []struct {
+		pl    engine.Platform
+		fanIn int
+	}{
+		{engine.MRHash, 0},
+		{engine.INCHash, 3},
+	}
+	for _, v := range variants {
+		t.Run(v.pl.String(), func(t *testing.T) {
+			job := goldenJob(t, v.pl)
+			job.NodeCombine = engine.NodeCombineOn
+			job.AggFanIn = v.fanIn
+			rep := runReal(t, job, queries.NewClickCount, 4)
+			if rep.NodeCombineInputRecords == 0 {
+				t.Fatal("combine stage did not run")
+			}
+			got, err := json.MarshalIndent(stableReport(rep), "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			path := filepath.Join("testdata", "golden", "real", v.pl.String()+".ncomb.json")
+			if *updateGolden {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d bytes)", path, len(got))
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if string(got) != string(want) {
+				t.Errorf("report drifted from %s:\n%s", path, diffLines(string(want), string(got)))
+			}
+		})
+	}
+}
+
 // diffLines renders a compact line-level diff (golden vs. got).
 func diffLines(want, got string) string {
 	w := strings.Split(want, "\n")

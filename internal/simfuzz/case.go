@@ -140,6 +140,14 @@ type Case struct {
 	// Workers2 is the second worker-pool size for the cross-worker
 	// determinism check (0 disables; the base runs are serial).
 	Workers2 int `json:"workers2,omitempty"`
+
+	// NodeCombine switches the in-node combine stage on
+	// (engine.NodeCombineOn): combinable queries fold each node's map
+	// outputs into one merged run before the shuffle. Answers must stay
+	// oracle-identical on every platform and both backends — including
+	// the real backend's combine-under-faults path, which the DES
+	// deliberately does not mirror.
+	NodeCombine bool `json:"node_combine,omitempty"`
 }
 
 // queryKinds lists the valid Query values.
@@ -299,6 +307,9 @@ func (c *Case) jobSpec(pl engine.Platform, input dfs.Input, workers int, withFau
 		CollectOutput: true,
 		ScanEvery:     c.ScanEvery,
 		Seed:          c.DataSeed ^ 0x51f0,
+	}
+	if c.NodeCombine {
+		spec.NodeCombine = engine.NodeCombineOn
 	}
 	if pl == engine.HOP {
 		spec.SnapshotEvery = c.SnapshotEvery

@@ -107,6 +107,12 @@ func Gen(seed int64) Case {
 	c.Platforms = AllPlatforms()
 	c.Workers2 = 2 + rng.Intn(5) // 2..6
 
+	// Node combining (drawn last so earlier seeds' cases keep their
+	// shape): a third of cases fold map outputs per node before the
+	// shuffle — a no-op on uncombinable queries and HOP, a full
+	// differential dimension everywhere else.
+	c.NodeCombine = rng.Intn(3) == 0
+
 	c.Normalize()
 	return c
 }

@@ -476,6 +476,33 @@ func checkReport(v *Verdict, c *Case, label string, rep *engine.Report, faulted 
 		}
 	}
 
+	// Node-combine accounting: the counters exist only when the case
+	// switches the stage on (combine savings are legitimate on clean
+	// runs — they are not recovery counters), the fold never inflates
+	// the pair count, and the per-node shuffle attribution is shaped by
+	// the cluster.
+	if !c.NodeCombine &&
+		(rep.NodeCombineInputRecords != 0 || rep.NodeCombineOutputRecords != 0 || rep.ShuffleBytesSaved != 0) {
+		acct("node combining off but in=%d out=%d saved=%d",
+			rep.NodeCombineInputRecords, rep.NodeCombineOutputRecords, rep.ShuffleBytesSaved)
+	}
+	if rep.NodeCombineOutputRecords > rep.NodeCombineInputRecords {
+		acct("combine fold emitted more pairs than it absorbed: in=%d out=%d",
+			rep.NodeCombineInputRecords, rep.NodeCombineOutputRecords)
+	}
+	if rep.ShuffleBytesSaved < 0 {
+		acct("negative ShuffleBytesSaved=%d", rep.ShuffleBytesSaved)
+	}
+	if n := len(rep.ShuffleBytesByNode); n != 0 && n != c.Nodes {
+		acct("ShuffleBytesByNode has %d entries on a %d-node cluster", n, c.Nodes)
+	}
+	for i, b := range rep.ShuffleBytesByNode {
+		if b < 0 {
+			acct("negative ShuffleBytesByNode[%d]=%d", i, b)
+			break
+		}
+	}
+
 	if !c.Poison && rep.QuarantinedRecords != 0 {
 		acct("no poison records but QuarantinedRecords=%d", rep.QuarantinedRecords)
 	}

@@ -34,6 +34,7 @@ var shrinkSteps = []shrinkStep{
 		return true
 	}},
 	{"drop-checkpoint", func(c *Case) bool { ch := c.CheckpointDiv != 0; c.CheckpointDiv = 0; return ch }},
+	{"drop-node-combine", func(c *Case) bool { ch := c.NodeCombine; c.NodeCombine = false; return ch }},
 	{"drop-poison", func(c *Case) bool { ch := c.Poison; c.Poison = false; return ch }},
 	{"drop-snapshot", func(c *Case) bool { ch := c.SnapshotEvery != 0; c.SnapshotEvery = 0; return ch }},
 	{"drop-scan", func(c *Case) bool { ch := c.ScanEvery != 0; c.ScanEvery = 0; return ch }},

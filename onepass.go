@@ -110,6 +110,42 @@ type (
 	CostModel = cost.Model
 )
 
+// NodeCombineMode selects the in-node combine stage (Job.NodeCombine):
+// every local map task's output on a node folds into one per-node hash
+// table, and a single merged partitioned run per node enters the
+// shuffle. Hierarchical (rack-style) aggregation on top of it is
+// Job.AggFanIn. Answers are bit-identical to the per-task path on both
+// backends; the shuffle bytes removed are reported in
+// Report.ShuffleBytesSaved and the per-node breakdown in
+// Report.ShuffleBytesByNode.
+type NodeCombineMode = engine.NodeCombineMode
+
+// Node-combine modes. Auto consults the analytical model: combining
+// turns on when the predicted saving from the Km/Kr hints clears
+// ModelNodeCombineThreshold.
+const (
+	NodeCombineOff  = engine.NodeCombineOff
+	NodeCombineOn   = engine.NodeCombineOn
+	NodeCombineAuto = engine.NodeCombineAuto
+)
+
+// ParseNodeCombineMode parses the -node-combine flag spelling
+// (off|on|auto).
+func ParseNodeCombineMode(s string) (NodeCombineMode, error) {
+	return engine.ParseNodeCombineMode(s)
+}
+
+// ModelNodeCombineThreshold is the predicted shuffle-saving fraction
+// above which NodeCombineAuto enables the stage.
+const ModelNodeCombineThreshold = model.NodeCombineThreshold
+
+// ModelNodeCombineSavedFrac predicts the fraction of shuffle bytes
+// in-node combining removes for a workload on n nodes — the quantity
+// NodeCombineAuto compares against ModelNodeCombineThreshold.
+func ModelNodeCombineSavedFrac(w ModelWorkload, n int) float64 {
+	return model.NodeCombineSavedFrac(w, n)
+}
+
 // Platforms.
 const (
 	// SortMerge is Hadoop's sort-merge implementation (§2.2); stock
