@@ -4,9 +4,11 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -83,19 +85,26 @@ func benchIngestBatch() [][]byte {
 // deltas from the committed file, and a row added since the last
 // in-place regeneration picks up its baseline from whichever source
 // first measured it. Missing or unparseable files are skipped — a
-// corrupt baseline must not block a fresh measurement.
-func loadBaseline(explicit, outPath string) map[string]float64 {
+// corrupt baseline must not block a fresh measurement — but a run
+// that found no baseline at all says so on warn, naming every path it
+// tried: otherwise BENCH.json rows silently missing prev_ns_per_op
+// (a mistyped -bench-baseline, a CI checkout without the committed
+// file) are indistinguishable from genuinely new benchmarks.
+func loadBaseline(warn io.Writer, explicit, outPath string) map[string]float64 {
 	prev := map[string]float64{}
+	var tried []string
 	for _, path := range []string{explicit, outPath, "BENCH.json"} {
 		if path == "" {
 			continue
 		}
+		tried = append(tried, path)
 		old, err := os.ReadFile(path)
 		if err != nil {
 			continue
 		}
 		var r benchReport
 		if json.Unmarshal(old, &r) != nil {
+			fmt.Fprintf(warn, "benchtables: baseline %s is not a bench report, skipping\n", path)
 			continue
 		}
 		for _, e := range r.Benchmarks {
@@ -103,6 +112,10 @@ func loadBaseline(explicit, outPath string) map[string]float64 {
 				prev[e.Name] = e.NsPerOp
 			}
 		}
+	}
+	if len(prev) == 0 {
+		fmt.Fprintf(warn, "benchtables: no baseline found (tried %s); deltas will be absent\n",
+			strings.Join(tried, ", "))
 	}
 	return prev
 }
@@ -169,7 +182,7 @@ func benchClicksDup16G(m onepass.CostModel) onepass.Input {
 }
 
 func runBenchJSON(path, baseline string) error {
-	prev := loadBaseline(baseline, path)
+	prev := loadBaseline(os.Stderr, baseline, path)
 
 	type spec struct {
 		name  string

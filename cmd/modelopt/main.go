@@ -11,6 +11,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"os"
 
 	"repro/internal/model"
 )
@@ -29,44 +31,55 @@ func main() {
 
 	w := model.Workload{D: *d, Km: *km, Kr: *kr}
 	h := model.Hardware{N: *n, Bm: *bm, Br: *br}
+	report(os.Stdout, w, h, *r)
+}
+
+// sweepC and sweepF are the (C, F) grid of the Fig 4(a,b)-style sweep.
+var (
+	sweepC = []float64{8e6, 16e6, 32e6, 64e6, 96e6, 128e6, 192e6, 256e6, 384e6, 512e6}
+	sweepF = []int{4, 8, 16, 32}
+)
+
+// report writes the full model evaluation — sweep table, optimizer
+// pick, propositions, rules of thumb, combine verdict — for one
+// workload/hardware point. Deterministic in its inputs, so the test
+// pins the rendered output.
+func report(out io.Writer, w model.Workload, h model.Hardware, r int) {
 	consts := model.PaperConstants()
 
-	fmt.Printf("workload: D=%.0fGB Km=%.2f Kr=%.2f   hardware: N=%d Bm=%.0fMB Br=%.0fMB R=%d\n\n",
-		*d/1e9, *km, *kr, *n, *bm/1e6, *br/1e6, *r)
+	fmt.Fprintf(out, "workload: D=%.0fGB Km=%.2f Kr=%.2f   hardware: N=%d Bm=%.0fMB Br=%.0fMB R=%d\n\n",
+		w.D/1e9, w.Km, w.Kr, h.N, h.Bm/1e6, h.Br/1e6, r)
 
-	cs := []float64{8e6, 16e6, 32e6, 64e6, 96e6, 128e6, 192e6, 256e6, 384e6, 512e6}
-	fs := []int{4, 8, 16, 32}
-
-	fmt.Println("model time cost T (seconds/node) over chunk size C and merge factor F:")
-	fmt.Printf("%8s", "C\\F")
-	for _, f := range fs {
-		fmt.Printf("%10d", f)
+	fmt.Fprintln(out, "model time cost T (seconds/node) over chunk size C and merge factor F:")
+	fmt.Fprintf(out, "%8s", "C\\F")
+	for _, f := range sweepF {
+		fmt.Fprintf(out, "%10d", f)
 	}
-	fmt.Println()
-	for _, c := range cs {
-		fmt.Printf("%6.0fMB", c/1e6)
-		for _, f := range fs {
-			p := model.Params{R: *r, C: c, F: f}
-			fmt.Printf("%10.0f", model.TimeCost(w, h, p, consts))
+	fmt.Fprintln(out)
+	for _, c := range sweepC {
+		fmt.Fprintf(out, "%6.0fMB", c/1e6)
+		for _, f := range sweepF {
+			p := model.Params{R: r, C: c, F: f}
+			fmt.Fprintf(out, "%10.0f", model.TimeCost(w, h, p, consts))
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
 
-	best := model.Optimize(w, h, *r, cs, fs, consts)
-	fmt.Printf("\noptimizer picks: %s  (T=%.0fs/node)\n", best, model.TimeCost(w, h, best, consts))
-	fmt.Printf("  U = %.1fGB/node read+written (Prop 3.1)\n", model.IOBytes(w, h, best)/1e9)
-	fmt.Printf("  S = %.0f I/O requests/node (Prop 3.2)\n", model.IORequests(w, h, best))
-	fmt.Printf("  map tasks/node = %.0f\n", model.MapTasksPerNode(w, h, best))
-	fmt.Printf("\npaper's §3.2 rules of thumb:\n")
-	fmt.Printf("  chunk:      largest C with C·Km ≤ Bm  → %.0fMB\n", model.RecommendedChunk(w, h)/1e6)
-	fmt.Printf("  merge:      one-pass factor           → F=%d\n", model.OnePassFactor(w, h, *r))
+	best := model.Optimize(w, h, r, sweepC, sweepF, consts)
+	fmt.Fprintf(out, "\noptimizer picks: %s  (T=%.0fs/node)\n", best, model.TimeCost(w, h, best, consts))
+	fmt.Fprintf(out, "  U = %.1fGB/node read+written (Prop 3.1)\n", model.IOBytes(w, h, best)/1e9)
+	fmt.Fprintf(out, "  S = %.0f I/O requests/node (Prop 3.2)\n", model.IORequests(w, h, best))
+	fmt.Fprintf(out, "  map tasks/node = %.0f\n", model.MapTasksPerNode(w, h, best))
+	fmt.Fprintf(out, "\npaper's §3.2 rules of thumb:\n")
+	fmt.Fprintf(out, "  chunk:      largest C with C·Km ≤ Bm  → %.0fMB\n", model.RecommendedChunk(w, h)/1e6)
+	fmt.Fprintf(out, "  merge:      one-pass factor           → F=%d\n", model.OnePassFactor(w, h, r))
 
-	saved := model.NodeCombineSavedFrac(w, *n)
+	saved := model.NodeCombineSavedFrac(w, h.N)
 	verdict := "off (below threshold)"
 	if saved >= model.NodeCombineThreshold {
 		verdict = "on"
 	}
-	fmt.Printf("\nin-node combining (shuffle floor N·Kr·D vs map output Km·D):\n")
-	fmt.Printf("  predicted shuffle saving: %.0f%%  → auto mode resolves %s (threshold %.0f%%)\n",
+	fmt.Fprintf(out, "\nin-node combining (shuffle floor N·Kr·D vs map output Km·D):\n")
+	fmt.Fprintf(out, "  predicted shuffle saving: %.0f%%  → auto mode resolves %s (threshold %.0f%%)\n",
 		100*saved, verdict, 100*model.NodeCombineThreshold)
 }

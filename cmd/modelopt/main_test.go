@@ -1,0 +1,78 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// paperPoint is the default workload/hardware: the paper's 97GB run
+// on 10 nodes.
+func paperPoint() (model.Workload, model.Hardware, int) {
+	return model.Workload{D: 97e9, Km: 1, Kr: 1},
+		model.Hardware{N: 10, Bm: 140e6, Br: 260e6},
+		4
+}
+
+func TestReportPaperDefaults(t *testing.T) {
+	var sb strings.Builder
+	w, h, r := paperPoint()
+	report(&sb, w, h, r)
+	out := sb.String()
+
+	for _, want := range []string{
+		"workload: D=97GB Km=1.00 Kr=1.00   hardware: N=10 Bm=140MB Br=260MB R=4",
+		"model time cost T (seconds/node) over chunk size C and merge factor F:",
+		"optimizer picks: R=4 C=128MB F=16",
+		"U = 48.5GB/node read+written (Prop 3.1)",
+		"S = 1115 I/O requests/node (Prop 3.2)",
+		"chunk:      largest C with C·Km ≤ Bm  → 139MB",
+		"merge:      one-pass factor           → F=10",
+		"auto mode resolves off (below threshold)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report output missing %q\n--- got:\n%s", want, out)
+		}
+	}
+
+	// One sweep row per chunk size plus the header row.
+	rows := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasSuffix(strings.TrimSpace(strings.Fields(line + " x")[0]), "MB") {
+			rows++
+		}
+	}
+	if rows < len(sweepC) {
+		t.Errorf("sweep table has %d rows, want at least %d", rows, len(sweepC))
+	}
+}
+
+// TestReportCombineFlip pins the combine verdict branch: a skewed
+// workload (huge map output collapsing to few keys on many nodes)
+// must flip the auto mode to on.
+func TestReportCombineFlip(t *testing.T) {
+	w := model.Workload{D: 97e9, Km: 4, Kr: 0.01}
+	h := model.Hardware{N: 100, Bm: 140e6, Br: 260e6}
+	if model.NodeCombineSavedFrac(w, h.N) < model.NodeCombineThreshold {
+		t.Skip("chosen point does not cross the combine threshold; pick a more skewed one")
+	}
+	var sb strings.Builder
+	report(&sb, w, h, 4)
+	if !strings.Contains(sb.String(), "auto mode resolves on") {
+		t.Errorf("combine-friendly workload did not resolve on:\n%s", sb.String())
+	}
+}
+
+// TestReportDeterministic pins that two renders of the same point are
+// byte-identical — the property that makes the output safe to diff in
+// scripts and goldens.
+func TestReportDeterministic(t *testing.T) {
+	w, h, r := paperPoint()
+	var a, b strings.Builder
+	report(&a, w, h, r)
+	report(&b, w, h, r)
+	if a.String() != b.String() {
+		t.Fatal("report output differs between identical calls")
+	}
+}

@@ -117,51 +117,11 @@ func main() {
 		users = int(2.2 * float64(int64(cluster.R*cluster.Nodes)*cluster.ReduceBuffer) / float64(*stateFlag+50))
 	}
 
-	// Queries are built through a factory: the real backend needs a
-	// fresh instance per task (queries carry per-task scratch state),
-	// and the simulation just calls it once.
-	var newQuery func() onepass.Query
-	var input onepass.Input
-	hints := onepass.Hints{Km: 1, DistinctKeys: int64(users)}
-	switch *queryFlag {
-	case "sessionization":
-		newQuery = func() onepass.Query {
-			return onepass.Sessionization(5*time.Minute, *stateFlag, 5*time.Second)
-		}
-		hints.Km = 1.15
-	case "clickcount":
-		newQuery = onepass.ClickCount
-		hints.Km = 0.01
-	case "frequsers":
-		newQuery = func() onepass.Query { return onepass.FrequentUsers(50) }
-		hints.Km = 0.01
-	case "pagefreq":
-		newQuery = onepass.PageFrequency
-		hints.Km = 0.01
-		hints.DistinctKeys = 20_000
-	case "trigram":
-		newQuery = func() onepass.Query { return onepass.TrigramCount(1000) }
-		hints.Km = 3
-		hints.DistinctKeys = 12_000_000
-		input = onepass.SyntheticDocCorpus(onepass.DocCorpusSpec{
-			PhysBytes: m.ScaleBytes(int64(*dataFlag)),
-			ChunkPhys: m.ScaleBytes(int64(*chunkFlag)),
-			Seed:      *seedFlag,
-			Vocab:     5_000,
-			WordSkew:  1.6,
-			WordV:     4,
-			DocWords:  12,
-		})
-	default:
-		fatal(fmt.Errorf("unknown query %q", *queryFlag))
+	plan, err := resolveQuery(*queryFlag, *stateFlag, users, *dataFlag, *chunkFlag, *seedFlag, m)
+	if err != nil {
+		fatal(err)
 	}
-	// Kr (reduce output:input ratio) feeds the node-combine auto gate:
-	// the count-style outputs here are ~24-byte rows, one per distinct
-	// key, so Kr ≈ 24·K / D. Sessionization never combines (no combine
-	// function), so the estimate is harmless there.
-	if hints.Kr == 0 && hints.DistinctKeys > 0 {
-		hints.Kr = 24 * float64(hints.DistinctKeys) / *dataFlag
-	}
+	newQuery, hints, input := plan.NewQuery, plan.Hints, plan.Input
 
 	combMode, err := onepass.ParseNodeCombineMode(*combFlag)
 	if err != nil {
@@ -341,6 +301,61 @@ func printReport(rep *onepass.Report) {
 	asciiplot.Series(&b, "cpu util", ts, util, 50)
 	asciiplot.Series(&b, "iowait", ts, iow, 50)
 	fmt.Print(b.String())
+}
+
+// queryPlan is the resolved -query choice: the factory (the real
+// backend needs a fresh instance per task, the simulation calls it
+// once), its workload hints, and — for document queries — a non-click
+// input. A nil Input means the default synthetic click stream.
+type queryPlan struct {
+	NewQuery func() onepass.Query
+	Hints    onepass.Hints
+	Input    onepass.Input
+}
+
+// resolveQuery maps a query name to its factory, hints, and input.
+func resolveQuery(name string, state, users int, data, chunk float64, seed int64, m onepass.CostModel) (queryPlan, error) {
+	p := queryPlan{Hints: onepass.Hints{Km: 1, DistinctKeys: int64(users)}}
+	switch name {
+	case "sessionization":
+		p.NewQuery = func() onepass.Query {
+			return onepass.Sessionization(5*time.Minute, state, 5*time.Second)
+		}
+		p.Hints.Km = 1.15
+	case "clickcount":
+		p.NewQuery = onepass.ClickCount
+		p.Hints.Km = 0.01
+	case "frequsers":
+		p.NewQuery = func() onepass.Query { return onepass.FrequentUsers(50) }
+		p.Hints.Km = 0.01
+	case "pagefreq":
+		p.NewQuery = onepass.PageFrequency
+		p.Hints.Km = 0.01
+		p.Hints.DistinctKeys = 20_000
+	case "trigram":
+		p.NewQuery = func() onepass.Query { return onepass.TrigramCount(1000) }
+		p.Hints.Km = 3
+		p.Hints.DistinctKeys = 12_000_000
+		p.Input = onepass.SyntheticDocCorpus(onepass.DocCorpusSpec{
+			PhysBytes: m.ScaleBytes(int64(data)),
+			ChunkPhys: m.ScaleBytes(int64(chunk)),
+			Seed:      seed,
+			Vocab:     5_000,
+			WordSkew:  1.6,
+			WordV:     4,
+			DocWords:  12,
+		})
+	default:
+		return p, fmt.Errorf("unknown query %q (want sessionization|clickcount|frequsers|pagefreq|trigram)", name)
+	}
+	// Kr (reduce output:input ratio) feeds the node-combine auto gate:
+	// the count-style outputs here are ~24-byte rows, one per distinct
+	// key, so Kr ≈ 24·K / D. Sessionization never combines (no combine
+	// function), so the estimate is harmless there.
+	if p.Hints.Kr == 0 && p.Hints.DistinctKeys > 0 {
+		p.Hints.Kr = 24 * float64(p.Hints.DistinctKeys) / data
+	}
+	return p, nil
 }
 
 // parseFaults assembles the fault plan from the command-line flags.

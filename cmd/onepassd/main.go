@@ -14,6 +14,13 @@
 // segment, and exits 0. After kill -9, restarting on the same -wal-dir
 // restores the newest checkpoint and replays only the WAL suffix
 // behind it — answers are bit-identical to a run that never crashed.
+//
+// With -jobs-dir set the daemon also runs the durable multi-tenant
+// job scheduler: specs POSTed to /v1/jobs execute on the sim or real
+// backend under per-org concurrency limits, run history (with full
+// engine Reports) persists in an embedded crash-safe job store, and
+// runs lost to a crash resume through checkpointed reducer state on
+// the next boot.
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/ingest"
+	"repro/internal/sched"
 	"repro/internal/serve"
 )
 
@@ -38,10 +46,18 @@ func main() {
 		inflightFlag = flag.Int64("max-inflight-bytes", 64<<20, "shed load (429) beyond this many accepted-but-unfolded bytes")
 		drainFlag    = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget on SIGTERM")
 		addrFileFlag = flag.String("addr-file", "", "write the bound listen address to this file (for :0 ports)")
+
+		jobsDirFlag    = flag.String("jobs-dir", "", "job-store directory: serve the /v1/jobs scheduler API (created if absent)")
+		jobsConcFlag   = flag.Int("jobs-max-concurrent", 2, "default per-org concurrent-run limit")
+		jobsQueuedFlag = flag.Int("jobs-max-queued", 64, "default per-org queued-run limit before shedding 429s")
 	)
 	flag.Parse()
 
 	cfg, opts, err := buildConfig(*addrFlag, *dirFlag, *queryFlag, *sealFlag, *ckptFlag, *inflightFlag, *drainFlag, *addrFileFlag)
+	if err != nil {
+		fatal(err)
+	}
+	schedCfg, err := buildSchedConfig(*jobsDirFlag, *jobsConcFlag, *jobsQueuedFlag)
 	if err != nil {
 		fatal(err)
 	}
@@ -52,9 +68,37 @@ func main() {
 	r := ing.Recovery
 	fmt.Fprintf(os.Stderr, "onepassd: %s on %s: restored checkpoint seq=%d, replayed %d batches (%d bytes), torn tails truncated: %d\n",
 		cfg.QueryName, cfg.Dir, r.RestoredSeq, r.ReplayedBatches, r.RecoveryReadBytes, r.TornTailsTruncated)
+	if schedCfg != nil {
+		s, err := sched.Open(*schedCfg)
+		if err != nil {
+			fatal(err)
+		}
+		sr := s.Recovery
+		fmt.Fprintf(os.Stderr, "onepassd: jobs on %s: %d jobs restored, %d queued runs requeued, %d interrupted runs resuming\n",
+			schedCfg.Dir, sr.Jobs, sr.RequeuedRuns, sr.ResumedRuns)
+		opts.Jobs = s
+	}
 	if err := serve.Run(context.Background(), ing, opts); err != nil {
 		fatal(err)
 	}
+}
+
+// buildSchedConfig validates the scheduler flags; a nil config means
+// the job API is off (-jobs-dir unset).
+func buildSchedConfig(dir string, maxConcurrent, maxQueued int) (*sched.Config, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	if maxConcurrent <= 0 {
+		return nil, fmt.Errorf("bad -jobs-max-concurrent %d (want > 0)", maxConcurrent)
+	}
+	if maxQueued <= 0 {
+		return nil, fmt.Errorf("bad -jobs-max-queued %d (want > 0)", maxQueued)
+	}
+	return &sched.Config{
+		Dir:           dir,
+		DefaultLimits: sched.Limits{MaxConcurrent: maxConcurrent, MaxQueued: maxQueued},
+	}, nil
 }
 
 // buildConfig validates the flag values (errors name the offending

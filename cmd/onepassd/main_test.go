@@ -98,3 +98,25 @@ func TestBuildConfigAllQueries(t *testing.T) {
 		}
 	}
 }
+
+func TestBuildSchedConfig(t *testing.T) {
+	// Unset -jobs-dir disables the job API.
+	cfg, err := buildSchedConfig("", 2, 64)
+	if err != nil || cfg != nil {
+		t.Fatalf("disabled: cfg=%v err=%v", cfg, err)
+	}
+	dir := t.TempDir()
+	cfg, err = buildSchedConfig(dir, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Dir != dir || cfg.DefaultLimits.MaxConcurrent != 3 || cfg.DefaultLimits.MaxQueued != 9 {
+		t.Fatalf("config not wired: %+v", cfg)
+	}
+	if _, err := buildSchedConfig(dir, 0, 9); err == nil || !strings.Contains(err.Error(), "-jobs-max-concurrent") {
+		t.Fatalf("zero concurrent: %v", err)
+	}
+	if _, err := buildSchedConfig(dir, 3, -1); err == nil || !strings.Contains(err.Error(), "-jobs-max-queued") {
+		t.Fatalf("negative queued: %v", err)
+	}
+}

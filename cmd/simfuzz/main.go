@@ -19,24 +19,66 @@ import (
 	"repro/internal/simfuzz"
 )
 
-func main() { os.Exit(run()) }
+func main() { os.Exit(run(os.Args[1:])) }
 
-func run() int {
-	var (
-		cases      = flag.Int("cases", 500, "number of random cases to sweep")
-		seed       = flag.Int64("seed", 1, "first seed of the sweep (seeds are seed..seed+cases-1)")
-		budget     = flag.Int("shrink-budget", 80, "max RunCase executions per shrink")
-		stopAfter  = flag.Int("stop-after", 3, "stop the sweep after this many failing seeds")
-		replaySeed = flag.Int64("replay-seed", 0, "replay a single generated seed instead of sweeping")
-		replay     = flag.String("replay", "", "replay a corpus entry (path to a JSON file)")
-		verbose    = flag.Bool("v", false, "print every case as it runs")
-		printSeed  = flag.Int64("print-seed", 0, "print the generated case for a seed and exit")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-	)
-	flag.Parse()
+// options is the parsed command line.
+type options struct {
+	Cases      int
+	Seed       int64
+	Budget     int
+	StopAfter  int
+	ReplaySeed int64
+	Replay     string
+	Verbose    bool
+	PrintSeed  int64
+	CPUProfile string
+}
 
-	if *cpuProfile != "" {
-		stop, err := prof.Start(*cpuProfile, "")
+// parseArgs parses the flag set against args (everything after the
+// program name). Split from run so tests can exercise the flag
+// surface without process-global flag state or os.Args.
+func parseArgs(args []string) (options, error) {
+	var o options
+	fs := flag.NewFlagSet("simfuzz", flag.ContinueOnError)
+	fs.IntVar(&o.Cases, "cases", 500, "number of random cases to sweep")
+	fs.Int64Var(&o.Seed, "seed", 1, "first seed of the sweep (seeds are seed..seed+cases-1)")
+	fs.IntVar(&o.Budget, "shrink-budget", 80, "max RunCase executions per shrink")
+	fs.IntVar(&o.StopAfter, "stop-after", 3, "stop the sweep after this many failing seeds")
+	fs.Int64Var(&o.ReplaySeed, "replay-seed", 0, "replay a single generated seed instead of sweeping")
+	fs.StringVar(&o.Replay, "replay", "", "replay a corpus entry (path to a JSON file)")
+	fs.BoolVar(&o.Verbose, "v", false, "print every case as it runs")
+	fs.Int64Var(&o.PrintSeed, "print-seed", 0, "print the generated case for a seed and exit")
+	fs.StringVar(&o.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	if err := fs.Parse(args); err != nil {
+		return o, err
+	}
+	if o.Cases <= 0 {
+		return o, fmt.Errorf("bad -cases %d (want > 0)", o.Cases)
+	}
+	if o.Budget < 0 {
+		return o, fmt.Errorf("bad -shrink-budget %d (want >= 0)", o.Budget)
+	}
+	if o.StopAfter <= 0 {
+		return o, fmt.Errorf("bad -stop-after %d (want > 0)", o.StopAfter)
+	}
+	if o.Replay != "" && o.ReplaySeed != 0 {
+		return o, fmt.Errorf("-replay and -replay-seed are mutually exclusive")
+	}
+	return o, nil
+}
+
+func run(args []string) int {
+	o, err := parseArgs(args)
+	if err == flag.ErrHelp {
+		return 0
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	if o.CPUProfile != "" {
+		stop, err := prof.Start(o.CPUProfile, "")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 2
@@ -44,19 +86,19 @@ func run() int {
 		defer stop()
 	}
 
-	if *printSeed != 0 {
-		blob, _ := json.MarshalIndent(simfuzz.Gen(*printSeed), "", "  ")
+	if o.PrintSeed != 0 {
+		blob, _ := json.MarshalIndent(simfuzz.Gen(o.PrintSeed), "", "  ")
 		fmt.Println(string(blob))
 		return 0
 	}
 
 	switch {
-	case *replay != "":
-		return replayFile(*replay, *budget)
-	case *replaySeed != 0:
-		return runSeeds(*replaySeed, 1, *budget, 1, true)
+	case o.Replay != "":
+		return replayFile(o.Replay, o.Budget)
+	case o.ReplaySeed != 0:
+		return runSeeds(o.ReplaySeed, 1, o.Budget, 1, true)
 	default:
-		return runSeeds(*seed, *cases, *budget, *stopAfter, *verbose)
+		return runSeeds(o.Seed, o.Cases, o.Budget, o.StopAfter, o.Verbose)
 	}
 }
 

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseArgsDefaults(t *testing.T) {
+	o, err := parseArgs(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := options{Cases: 500, Seed: 1, Budget: 80, StopAfter: 3}
+	if o != want {
+		t.Fatalf("defaults = %+v, want %+v", o, want)
+	}
+}
+
+func TestParseArgsAllFlags(t *testing.T) {
+	o, err := parseArgs([]string{
+		"-cases", "42", "-seed", "7", "-shrink-budget", "9",
+		"-stop-after", "1", "-v", "-print-seed", "99",
+		"-cpuprofile", "cpu.out",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := options{Cases: 42, Seed: 7, Budget: 9, StopAfter: 1,
+		Verbose: true, PrintSeed: 99, CPUProfile: "cpu.out"}
+	if o != want {
+		t.Fatalf("parsed = %+v, want %+v", o, want)
+	}
+}
+
+func TestParseArgsErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the error
+	}{
+		{"unknown flag", []string{"-bogus"}, "-bogus"},
+		{"non-numeric cases", []string{"-cases", "many"}, "invalid"},
+		{"zero cases", []string{"-cases", "0"}, "-cases"},
+		{"negative budget", []string{"-shrink-budget", "-1"}, "-shrink-budget"},
+		{"zero stop-after", []string{"-stop-after", "0"}, "-stop-after"},
+		{"replay conflict", []string{"-replay", "x.json", "-replay-seed", "5"}, "mutually exclusive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseArgs(tc.args)
+			if err == nil {
+				t.Fatalf("parseArgs(%v) accepted bad input", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestParseArgsIsolated pins that repeated parses don't share state —
+// the reason parseArgs builds a fresh FlagSet instead of using the
+// process-global flag package.
+func TestParseArgsIsolated(t *testing.T) {
+	if _, err := parseArgs([]string{"-cases", "9"}); err != nil {
+		t.Fatal(err)
+	}
+	o, err := parseArgs(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Cases != 500 {
+		t.Fatalf("second parse saw Cases=%d from the first; want default 500", o.Cases)
+	}
+}

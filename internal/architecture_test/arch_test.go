@@ -1,0 +1,280 @@
+// Package architecture_test pins the repo's layering as an executable
+// rule table. The dependency story the code tells — substrate and the
+// byte-level foundations at the bottom, the platform core above them,
+// the engine and real backend above that, and the long-running
+// services (ingest, sched, serve) on top — only stays true if someone
+// checks; this test walks every .go file with go/parser (ImportsOnly)
+// and fails, naming the violating file, when an import crosses a
+// boundary downward-only layering forbids.
+package architecture_test
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+const modulePrefix = "repro/internal/"
+
+// rule forbids the packages in From (basenames under internal/, or
+// "cmd/<name>") from importing any package in Deny. Inverted rules are
+// expressed by listing every legitimate importer: see onlyImporters.
+type rule struct {
+	Name string
+	Why  string
+	From []string
+	Deny []string
+}
+
+// onlyImporters restricts who may import a package at all: map key is
+// the guarded package, values are the packages allowed to import it.
+type onlyImporters struct {
+	Name    string
+	Why     string
+	Guarded string
+	Allowed []string
+}
+
+var rules = []rule{
+	{
+		Name: "foundation-below-execution",
+		Why:  "byte-level foundations must stay reusable outside the engine",
+		From: []string{"frame", "kvenc", "substrate", "bytestore", "hashfam",
+			"frequent", "sim", "metrics", "model", "cost"},
+		Deny: []string{"engine", "realexec", "sched", "serve", "ingest", "jobstore"},
+	},
+	{
+		Name: "core-independent-of-execution",
+		Why:  "platform reducers/mappers are substrate-generic: both backends build on core, never the reverse",
+		From: []string{"core", "sortmerge", "storage", "mr", "queries", "workload", "dfs"},
+		Deny: []string{"engine", "realexec", "sched", "serve", "ingest", "jobstore"},
+	},
+	{
+		Name: "engine-below-services",
+		Why:  "the simulator engine is a library; services orchestrate it, not vice versa",
+		From: []string{"engine"},
+		Deny: []string{"realexec", "sched", "serve", "ingest", "jobstore"},
+	},
+	{
+		Name: "realexec-below-services",
+		Why:  "the wall-clock backend must not reach into service state",
+		From: []string{"realexec"},
+		Deny: []string{"sched", "serve", "ingest", "jobstore"},
+	},
+	{
+		Name: "sched-below-serve",
+		Why:  "the scheduler is embeddable without HTTP",
+		From: []string{"sched", "ingest"},
+		Deny: []string{"serve"},
+	},
+}
+
+var exclusives = []onlyImporters{
+	{
+		Name:    "jobstore-only-via-sched",
+		Why:     "the embedded job store's transactional surface is the scheduler's private substrate",
+		Guarded: "jobstore",
+		Allowed: []string{"sched"},
+	},
+}
+
+// fileImports maps a repo-relative .go file to its repro/internal
+// imports, with each import reduced to its package basename.
+type fileImports map[string][]string
+
+// violations applies the rule tables to a parsed file set and returns
+// one message per offense, each naming the violating file. Pure
+// function of its input so the planted-violation self-check below can
+// feed it fabricated trees.
+func violations(files fileImports) []string {
+	pkgOf := func(path string) string {
+		rel := strings.TrimPrefix(filepath.ToSlash(path), "internal/")
+		if i := strings.Index(rel, "/"); i >= 0 {
+			return rel[:i]
+		}
+		return rel
+	}
+	inSet := func(set []string, s string) bool {
+		for _, v := range set {
+			if v == s {
+				return true
+			}
+		}
+		return false
+	}
+
+	var out []string
+	paths := make([]string, 0, len(files))
+	for p := range files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		from := pkgOf(path)
+		for _, imp := range files[path] {
+			for _, r := range rules {
+				if inSet(r.From, from) && inSet(r.Deny, imp) {
+					out = append(out, fmt.Sprintf("%s: rule %q: package %s must not import %s%s (%s)",
+						path, r.Name, from, modulePrefix, imp, r.Why))
+				}
+			}
+			for _, x := range exclusives {
+				if imp == x.Guarded && from != x.Guarded && !inSet(x.Allowed, from) {
+					out = append(out, fmt.Sprintf("%s: rule %q: only %v may import %s%s (%s)",
+						path, x.Name, x.Allowed, modulePrefix, x.Guarded, x.Why))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// parseTree walks the repository for .go files (skipping testdata and
+// vendor) and records each file's repro/internal imports.
+func parseTree(t *testing.T, root string) fileImports {
+	t.Helper()
+	fset := token.NewFileSet()
+	files := fileImports{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case "testdata", "vendor", ".git":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			return fmt.Errorf("parse %s: %w", path, err)
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		var imps []string
+		for _, spec := range f.Imports {
+			val, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				return fmt.Errorf("%s: bad import %s: %w", rel, spec.Path.Value, err)
+			}
+			if strings.HasPrefix(val, modulePrefix) {
+				imps = append(imps, strings.TrimPrefix(val, modulePrefix))
+			}
+		}
+		files[filepath.ToSlash(rel)] = imps
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return files
+}
+
+// repoRoot finds the module root (the directory holding go.mod) from
+// the test's working directory.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestImportBoundaries applies the rule table to the real tree.
+func TestImportBoundaries(t *testing.T) {
+	files := parseTree(t, repoRoot(t))
+	if len(files) < 50 {
+		t.Fatalf("walked only %d .go files — tree scan is broken", len(files))
+	}
+	for _, v := range violations(files) {
+		t.Error(v)
+	}
+}
+
+// TestRulesCoverKnownPackages guards the rule table against decay: the
+// packages it names must exist, so a rename can't quietly turn a rule
+// into a no-op matching nothing.
+func TestRulesCoverKnownPackages(t *testing.T) {
+	root := repoRoot(t)
+	exists := func(pkg string) bool {
+		_, err := os.Stat(filepath.Join(root, "internal", pkg))
+		return err == nil
+	}
+	for _, r := range rules {
+		for _, pkg := range append(append([]string{}, r.From...), r.Deny...) {
+			if !exists(pkg) {
+				t.Errorf("rule %q names nonexistent package internal/%s", r.Name, pkg)
+			}
+		}
+	}
+	for _, x := range exclusives {
+		for _, pkg := range append([]string{x.Guarded}, x.Allowed...) {
+			if !exists(pkg) {
+				t.Errorf("rule %q names nonexistent package internal/%s", x.Name, pkg)
+			}
+		}
+	}
+}
+
+// TestPlantedViolationsAreCaught is the self-check: a checker that
+// cannot fail is indistinguishable from no checker. Each planted
+// offense must be reported, and the report must name the file.
+func TestPlantedViolationsAreCaught(t *testing.T) {
+	cases := []struct {
+		name string
+		file string
+		imp  string
+	}{
+		{"foundation imports engine", "internal/frame/bad.go", "engine"},
+		{"core imports realexec", "internal/core/bad.go", "realexec"},
+		{"engine imports sched", "internal/engine/bad.go", "sched"},
+		{"serve imports jobstore", "internal/serve/bad.go", "jobstore"},
+		{"ingest imports serve", "internal/ingest/bad.go", "serve"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			files := fileImports{tc.file: []string{tc.imp}}
+			got := violations(files)
+			if len(got) == 0 {
+				t.Fatalf("planted violation %s → %s not caught", tc.file, tc.imp)
+			}
+			if !strings.Contains(got[0], tc.file) {
+				t.Fatalf("report %q does not name the violating file %s", got[0], tc.file)
+			}
+		})
+	}
+
+	// And a legal tree yields no findings.
+	legal := fileImports{
+		"internal/sched/store.go":  {"jobstore", "engine"},
+		"internal/serve/jobs.go":   {"sched", "ingest"},
+		"internal/engine/job.go":   {"core", "sim", "frame"},
+		"internal/jobstore/log.go": {"frame"},
+	}
+	if got := violations(legal); len(got) != 0 {
+		t.Fatalf("legal tree flagged: %v", got)
+	}
+}

@@ -1,0 +1,186 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/dfs"
+	"repro/internal/engine"
+	"repro/internal/mr"
+	"repro/internal/queries"
+	"repro/internal/realexec"
+	"repro/internal/workload"
+)
+
+// Executor runs one job to completion. resume is non-nil when the run
+// re-executes a run the scheduler lost mid-flight (crash or restart);
+// implementations should then recover through checkpointed reducer
+// state rather than recompute from scratch where the platform allows.
+type Executor interface {
+	Run(ctx context.Context, spec JobSpec, resume *ResumeInfo) (*engine.Report, error)
+}
+
+// ResumeInfo describes the interrupted run being resumed.
+type ResumeInfo struct {
+	// PrevRunID is the interrupted run's id; Attempt the 1-based count
+	// of execution attempts including this one.
+	PrevRunID uint64
+	Attempt   int
+}
+
+// BuildJob translates a normalized, validated JobSpec into the engine
+// job plus the query factory the real backend needs. It mirrors
+// cmd/onepass's construction so a scheduled run and a direct CLI run
+// of the same spec produce bit-identical answer-stable Reports.
+func BuildJob(s JobSpec) (engine.JobSpec, func() mr.Query, error) {
+	scale, err := ParseScale(s.Scale)
+	if err != nil {
+		return engine.JobSpec{}, nil, err
+	}
+	platform, err := ParsePlatform(s.Platform)
+	if err != nil {
+		return engine.JobSpec{}, nil, err
+	}
+	combMode, err := engine.ParseNodeCombineMode(s.NodeCombine)
+	if err != nil {
+		return engine.JobSpec{}, nil, err
+	}
+
+	m := cost.Default(scale)
+	cluster := engine.PaperCluster(m)
+	if s.Nodes > 0 {
+		cluster.Nodes = s.Nodes
+	}
+	if s.Reducers > 0 {
+		cluster.R = s.Reducers
+	}
+	cluster.Parallelism = s.Workers
+
+	hints := mr.Hints{Km: 1, DistinctKeys: int64(s.Users)}
+	var newQuery func() mr.Query
+	var input dfs.Input
+	switch s.Query {
+	case "sessionization":
+		newQuery = func() mr.Query {
+			return queries.NewSessionization(5*time.Minute, s.StateBytes, 5*time.Second)
+		}
+		hints.Km = 1.15
+	case "clickcount":
+		newQuery = queries.NewClickCount
+		hints.Km = 0.01
+	case "frequsers":
+		newQuery = func() mr.Query { return queries.NewFrequentUsers(50) }
+		hints.Km = 0.01
+	case "pagefreq":
+		newQuery = queries.NewPageFrequency
+		hints.Km = 0.01
+		hints.DistinctKeys = 20_000
+	case "trigram":
+		newQuery = func() mr.Query { return queries.NewTrigramCount(1000) }
+		hints.Km = 3
+		hints.DistinctKeys = 12_000_000
+		doc := workload.DefaultDocSpec(m.ScaleBytes(int64(s.DataBytes)), m.ScaleBytes(int64(s.ChunkBytes)), s.Seed)
+		input = workload.NewDocCorpus(doc)
+	default:
+		return engine.JobSpec{}, nil, fmt.Errorf("unknown query %q", s.Query)
+	}
+	if hints.Kr == 0 && hints.DistinctKeys > 0 {
+		hints.Kr = 24 * float64(hints.DistinctKeys) / s.DataBytes
+	}
+	if input == nil {
+		click := workload.DefaultClickSpec(m.ScaleBytes(int64(s.DataBytes)), m.ScaleBytes(int64(s.ChunkBytes)), s.Seed)
+		click.Users = s.Users
+		input = workload.NewClickStream(click)
+	}
+
+	job := engine.JobSpec{
+		Input:           input,
+		Platform:        platform,
+		Cluster:         cluster,
+		Hints:           hints,
+		ScanEvery:       4096,
+		Seed:            s.Seed,
+		CheckpointEvery: time.Duration(s.CheckpointEvery),
+		NodeCombine:     combMode,
+		AggFanIn:        s.AggFanIn,
+	}
+	return job, newQuery, nil
+}
+
+// EngineExecutor executes jobs on the platform engine, honoring
+// spec.Backend.
+type EngineExecutor struct{}
+
+// Run implements Executor. Resumed runs on an incremental platform
+// model the scheduler's own death as an engine node kill: a clean
+// probe run measures the makespan, then the re-execution checkpoints
+// reducer state and kills a node mid-job, so the reducers restore from
+// their newest checkpoint exactly as PR 2's recovery path does —
+// Report.RecoveryReadBytes then reports the true replay suffix, which
+// stays below a from-scratch recomputation, while answers remain
+// bit-identical. Non-incremental platforms have no reducer state to
+// restore and simply re-run.
+func (EngineExecutor) Run(ctx context.Context, spec JobSpec, resume *ResumeInfo) (*engine.Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	job, newQuery, err := BuildJob(spec)
+	if err != nil {
+		return nil, err
+	}
+	platform := job.Platform
+
+	runOnce := func(j engine.JobSpec) (*engine.Report, error) {
+		switch spec.Backend {
+		case "sim":
+			j.Query = newQuery()
+			return engine.Run(j)
+		case "real":
+			workers := spec.Workers
+			if workers == 0 {
+				workers = runtime.GOMAXPROCS(0)
+			}
+			return realexec.Run(realexec.Spec{Job: j, NewQuery: newQuery, Workers: workers})
+		default:
+			return nil, fmt.Errorf("unknown backend %q", spec.Backend)
+		}
+	}
+
+	if resume == nil || !platform.Incremental() {
+		return runOnce(job)
+	}
+
+	// Probe for the clean makespan so the injected kill lands mid-job
+	// on any spec, then re-execute through the checkpointed path.
+	probe, err := runOnce(job)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	resumed := job
+	if resumed.CheckpointEvery <= 0 {
+		// Checkpoint after every consumed map output: the resume must
+		// replay from the newest possible state, not whatever a coarse
+		// timer happened to capture before the interruption.
+		resumed.CheckpointEvery = time.Nanosecond
+	}
+	switch spec.Backend {
+	case "sim":
+		// Kill late in the map phase with a responsive failure
+		// detector — the shape of the engine's own recovery suite —
+		// so the lost reducers hold real checkpointed progress and the
+		// restart happens while the job is still running.
+		mf := probe.MapFinishTime
+		resumed.Faults.KillNodes = map[int]time.Duration{1: mf * 3 / 4}
+		resumed.Faults.HeartbeatInterval = mf / 100
+		resumed.Faults.HeartbeatTimeout = mf / 25
+	case "real":
+		resumed.Faults.KillAtMapProgress = map[int]float64{1: 0.75}
+	}
+	return runOnce(resumed)
+}

@@ -1,0 +1,235 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// fuzzExec is the randomized executor for the interleaving fuzz: each
+// run sleeps a small pseudo-random time and occasionally fails, while
+// per-org concurrency is tracked for the limit invariant. All
+// randomness derives from the scenario seed, so a failing seed replays
+// exactly.
+type fuzzExec struct {
+	mu        sync.Mutex
+	rng       *rand.Rand
+	cur, peak map[string]int
+}
+
+func (e *fuzzExec) Run(ctx context.Context, spec JobSpec, resume *ResumeInfo) (*engine.Report, error) {
+	e.mu.Lock()
+	e.cur[spec.Org]++
+	if e.cur[spec.Org] > e.peak[spec.Org] {
+		e.peak[spec.Org] = e.cur[spec.Org]
+	}
+	delay := time.Duration(e.rng.Intn(300)) * time.Microsecond
+	fail := e.rng.Intn(10) == 0
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		e.cur[spec.Org]--
+		e.mu.Unlock()
+	}()
+
+	select {
+	case <-time.After(delay):
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	if fail {
+		return nil, errors.New("fuzz: injected run failure")
+	}
+	return &engine.Report{Query: spec.Query, OutputRecords: 1}, nil
+}
+
+// TestConcurrentSubmitCancelFuzz drives seeded random interleavings of
+// concurrent submits and cancels and checks, for every seed:
+//
+//   - the per-org concurrency limit is never exceeded
+//   - run ids are strictly monotonic (1..n, no gap, no repeat) per org
+//   - cancel is idempotent
+//   - no acknowledged submit is lost: every acked job reaches a
+//     terminal state with its runs recorded, and survives a store
+//     reopen bit-for-bit
+//
+// The full run covers 200+ interleavings (CI runs it under -race);
+// -short trims the seed count for the tier-1 lane.
+func TestConcurrentSubmitCancelFuzz(t *testing.T) {
+	seeds := 200
+	if testing.Short() {
+		seeds = 25
+	}
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%03d", seed), func(t *testing.T) {
+			t.Parallel()
+			fuzzScenario(t, int64(seed))
+		})
+	}
+}
+
+func fuzzScenario(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	orgs := []string{"a", "b", "c"}[:1+rng.Intn(3)]
+	submitters := 2 + rng.Intn(3)
+	jobsPer := 2 + rng.Intn(3)
+	limit := Limits{MaxConcurrent: 1 + rng.Intn(3), MaxQueued: 64}
+
+	dir := t.TempDir()
+	exec := &fuzzExec{rng: rand.New(rand.NewSource(seed * 7)), cur: map[string]int{}, peak: map[string]int{}}
+	s, err := Open(Config{Dir: dir, Exec: exec, DefaultLimits: limit})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var acked []string
+	var wg sync.WaitGroup
+	for w := 0; w < submitters; w++ {
+		wg.Add(1)
+		src := rand.New(rand.NewSource(seed*31 + int64(w)))
+		go func() {
+			defer wg.Done()
+			for i := 0; i < jobsPer; i++ {
+				org := orgs[src.Intn(len(orgs))]
+				j, err := s.Submit(testSpec(org))
+				if err != nil {
+					continue // shed is legal; anything acked is tracked
+				}
+				mu.Lock()
+				acked = append(acked, j.ID)
+				n := len(acked)
+				mu.Unlock()
+				// Occasionally cancel a random already-acked job.
+				if src.Intn(3) == 0 {
+					mu.Lock()
+					victim := acked[src.Intn(n)]
+					mu.Unlock()
+					if _, err := s.Cancel(victim); err != nil {
+						t.Errorf("cancel acked job %s: %v", victim, err)
+					}
+				}
+				if src.Intn(2) == 0 {
+					time.Sleep(time.Duration(src.Intn(200)) * time.Microsecond)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Every acknowledged job must settle into a terminal state.
+	deadline := time.Now().Add(10 * time.Second)
+	for _, id := range acked {
+		for {
+			j, err := s.Get(id)
+			if err != nil {
+				t.Fatalf("acked job %s lost: %v", id, err)
+			}
+			if terminal(j.State) {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s stuck in %q", id, j.State)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Invariant: concurrency limit never exceeded.
+	exec.mu.Lock()
+	peaks := map[string]int{}
+	for org, p := range exec.peak {
+		peaks[org] = p
+	}
+	exec.mu.Unlock()
+	for org, p := range peaks {
+		if p > limit.MaxConcurrent {
+			t.Errorf("org %s peak concurrency %d > limit %d", org, p, limit.MaxConcurrent)
+		}
+	}
+
+	// Invariant: run ids strictly monotonic per org — across all jobs
+	// the org's ids are exactly 1..n.
+	idsByOrg := map[string]map[uint64]bool{}
+	runsState := map[string]string{}
+	for _, id := range acked {
+		j, err := s.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs, err := s.Runs(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(runs) == 0 {
+			t.Fatalf("acked job %s has no run record", id)
+		}
+		for _, r := range runs {
+			if !terminal(r.State) {
+				t.Errorf("job %s run %d left in %q", id, r.ID, r.State)
+			}
+			set := idsByOrg[r.Org]
+			if set == nil {
+				set = map[uint64]bool{}
+				idsByOrg[r.Org] = set
+			}
+			if set[r.ID] {
+				t.Errorf("org %s run id %d repeated", r.Org, r.ID)
+			}
+			set[r.ID] = true
+			runsState[fmt.Sprintf("%s/%d", id, r.ID)] = r.State
+		}
+		// Idempotence: canceling a terminal job changes nothing.
+		again, err := s.Cancel(id)
+		if err != nil || again.State != j.State {
+			t.Errorf("terminal cancel of %s: %q → %q (%v)", id, j.State, again.State, err)
+		}
+	}
+	for org, set := range idsByOrg {
+		for want := uint64(1); want <= uint64(len(set)); want++ {
+			if !set[want] {
+				t.Errorf("org %s run ids have a gap at %d (of %d)", org, want, len(set))
+			}
+		}
+	}
+
+	jobsBefore := s.List("")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Durability: a reopen sees every job and run unchanged.
+	s2, err := Open(Config{Dir: dir, Exec: newStub(), DefaultLimits: limit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	jobsAfter := s2.List("")
+	if len(jobsAfter) != len(jobsBefore) {
+		t.Fatalf("reopen lost jobs: %d → %d", len(jobsBefore), len(jobsAfter))
+	}
+	for i, j := range jobsBefore {
+		if jobsAfter[i].ID != j.ID || jobsAfter[i].State != j.State {
+			t.Errorf("job %s changed across reopen: %q → %q", j.ID, j.State, jobsAfter[i].State)
+		}
+	}
+	for _, id := range acked {
+		runs, err := s2.Runs(id)
+		if err != nil {
+			t.Fatalf("reopen lost runs of %s: %v", id, err)
+		}
+		for _, r := range runs {
+			key := fmt.Sprintf("%s/%d", id, r.ID)
+			if runsState[key] != r.State {
+				t.Errorf("run %s changed across reopen: %q → %q", key, runsState[key], r.State)
+			}
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package sched
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/jobstore"
+)
+
+// Bucket schema inside the embedded job store. Compound keys join
+// components with '\x00' (never present in ids), so prefix scans walk
+// one org or one job without touching neighbors.
+//
+//	jobs        job-id → Job JSON
+//	org_index   org \x00 job-id → job-id
+//	user_index  org \x00 user \x00 job-id → job-id
+//	limits      org → Limits JSON
+//	runs        job-id \x00 %016d(run-id) → Run JSON
+//	jobseq      (sequence only) global job numbers
+//	runseq/<org> (sequence only) per-org run ids — strictly monotonic
+//	             across restarts because the counter is replayed
+const (
+	bucketJobs      = "jobs"
+	bucketOrgIndex  = "org_index"
+	bucketUserIndex = "user_index"
+	bucketLimits    = "limits"
+	bucketRuns      = "runs"
+	bucketJobSeq    = "jobseq"
+	runSeqPrefix    = "runseq/"
+)
+
+const keySep = "\x00"
+
+func runKey(jobID string, runID uint64) []byte {
+	return []byte(fmt.Sprintf("%s%s%016d", jobID, keySep, runID))
+}
+
+// putJob writes the job record and its org/user index rows.
+func putJob(tx *jobstore.Tx, j *Job) error {
+	data, err := json.Marshal(j)
+	if err != nil {
+		return err
+	}
+	if err := tx.Bucket(bucketJobs).Put([]byte(j.ID), data); err != nil {
+		return err
+	}
+	if err := tx.Bucket(bucketOrgIndex).Put([]byte(j.Spec.Org+keySep+j.ID), []byte(j.ID)); err != nil {
+		return err
+	}
+	if j.Spec.User != "" {
+		return tx.Bucket(bucketUserIndex).Put(
+			[]byte(j.Spec.Org+keySep+j.Spec.User+keySep+j.ID), []byte(j.ID))
+	}
+	return nil
+}
+
+func getJob(tx *jobstore.Tx, id string) (*Job, error) {
+	data := tx.Bucket(bucketJobs).Get([]byte(id))
+	if data == nil {
+		return nil, ErrNotFound
+	}
+	var j Job
+	if err := json.Unmarshal(data, &j); err != nil {
+		return nil, fmt.Errorf("sched: corrupt job record %s: %w", id, err)
+	}
+	return &j, nil
+}
+
+func putRun(tx *jobstore.Tx, r *Run) error {
+	data, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	return tx.Bucket(bucketRuns).Put(runKey(r.JobID, r.ID), data)
+}
+
+// forEachRun visits every run of jobID in run-id order.
+func forEachRun(tx *jobstore.Tx, jobID string, fn func(*Run) error) error {
+	prefix := jobID + keySep
+	return tx.Bucket(bucketRuns).ForEach(func(k, v []byte) error {
+		if !strings.HasPrefix(string(k), prefix) {
+			return nil
+		}
+		var r Run
+		if err := json.Unmarshal(v, &r); err != nil {
+			return fmt.Errorf("sched: corrupt run record %s: %w", k, err)
+		}
+		return fn(&r)
+	})
+}
+
+// forEachJob visits every job, or only org's jobs when org is
+// non-empty.
+func forEachJob(tx *jobstore.Tx, org string, fn func(*Job) error) error {
+	if org == "" {
+		return tx.Bucket(bucketJobs).ForEach(func(_, v []byte) error {
+			var j Job
+			if err := json.Unmarshal(v, &j); err != nil {
+				return fmt.Errorf("sched: corrupt job record: %w", err)
+			}
+			return fn(&j)
+		})
+	}
+	prefix := org + keySep
+	return tx.Bucket(bucketOrgIndex).ForEach(func(k, id []byte) error {
+		if !strings.HasPrefix(string(k), prefix) {
+			return nil
+		}
+		j, err := getJob(tx, string(id))
+		if err != nil {
+			return err
+		}
+		return fn(j)
+	})
+}
+
+func getLimits(tx *jobstore.Tx, org string, def Limits) Limits {
+	data := tx.Bucket(bucketLimits).Get([]byte(org))
+	if data == nil {
+		return def
+	}
+	var l Limits
+	if err := json.Unmarshal(data, &l); err != nil {
+		return def
+	}
+	if l.MaxConcurrent <= 0 {
+		l.MaxConcurrent = def.MaxConcurrent
+	}
+	if l.MaxQueued <= 0 {
+		l.MaxQueued = def.MaxQueued
+	}
+	return l
+}
+
+func putLimits(tx *jobstore.Tx, org string, l Limits) error {
+	data, err := json.Marshal(l)
+	if err != nil {
+		return err
+	}
+	return tx.Bucket(bucketLimits).Put([]byte(org), data)
+}
+
+func nextJobID(tx *jobstore.Tx) (string, error) {
+	n, err := tx.Bucket(bucketJobSeq).NextSequence()
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("j%06d", n), nil
+}
+
+func nextRunID(tx *jobstore.Tx, org string) (uint64, error) {
+	return tx.Bucket(runSeqPrefix + org).NextSequence()
+}

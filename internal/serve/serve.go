@@ -1,9 +1,10 @@
 // Package serve is the HTTP face of onepassd: batch ingestion on
 // POST /v1/events (newline-delimited records, acknowledged only after
 // the WAL fsync), current answers with their coverage estimate γ on
-// GET /v1/stats, liveness on /healthz, and counters on /metricsz.
-// Overload surfaces as 429 with Retry-After; shutdown is a graceful
-// drain triggered by SIGTERM.
+// GET /v1/stats, the multi-tenant job API under /v1/jobs and
+// /v1/orgs/{org}/limits (when a scheduler is attached), liveness on
+// /healthz, and counters on /metricsz. Overload surfaces as 429 with
+// Retry-After; shutdown is a graceful drain triggered by SIGTERM.
 package serve
 
 import (
@@ -22,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/ingest"
+	"repro/internal/sched"
 )
 
 // MaxBodyBytes bounds one POST /v1/events request body.
@@ -38,13 +40,22 @@ type Options struct {
 	// how out-of-process tests and scripts discover a :0 port.
 	AddrFile string
 	// DrainTimeout bounds graceful shutdown: in-flight requests plus
-	// the ingester drain (final fold, checkpoint, seal).
+	// the ingester drain (final fold, checkpoint, seal) and, when a
+	// scheduler is attached, the scheduler drain (running jobs finish).
 	DrainTimeout time.Duration
+	// Jobs, when non-nil, attaches the durable job scheduler: the
+	// /v1/jobs and /v1/orgs/{org}/limits endpoints are served and the
+	// scheduler is drained and closed on shutdown.
+	Jobs *sched.Scheduler
 }
 
-// NewHandler wires the service endpoints around an open Ingester.
-func NewHandler(ing *ingest.Ingester) http.Handler {
+// NewHandler wires the service endpoints around an open Ingester and,
+// when jobs is non-nil, the job scheduler API.
+func NewHandler(ing *ingest.Ingester, jobs *sched.Scheduler) http.Handler {
 	mux := http.NewServeMux()
+	if jobs != nil {
+		registerJobs(mux, jobs)
+	}
 	mux.HandleFunc("/v1/events", func(w http.ResponseWriter, r *http.Request) {
 		handleEvents(ing, w, r)
 	})
@@ -157,7 +168,7 @@ func Run(ctx context.Context, ing *ingest.Ingester, opts Options) error {
 	ctx, stop := signal.NotifyContext(ctx, syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
 
-	srv := &http.Server{Handler: NewHandler(ing)}
+	srv := &http.Server{Handler: NewHandler(ing, opts.Jobs)}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 
@@ -170,8 +181,27 @@ func Run(ctx context.Context, ing *ingest.Ingester, opts Options) error {
 	drainCtx, cancel := context.WithTimeout(context.Background(), opts.DrainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil {
+		drainJobs(drainCtx, opts.Jobs)
 		ing.Drain(drainCtx) // still try to persist what was acknowledged
 		return fmt.Errorf("serve: shutdown: %w", err)
 	}
+	if err := drainJobs(drainCtx, opts.Jobs); err != nil {
+		ing.Drain(drainCtx)
+		return err
+	}
 	return ing.Drain(drainCtx)
+}
+
+// drainJobs refuses new submissions, waits for running jobs under the
+// drain budget, and closes the job store. Interrupted runs (budget
+// exceeded) are persisted as such and resume on the next boot.
+func drainJobs(ctx context.Context, s *sched.Scheduler) error {
+	if s == nil {
+		return nil
+	}
+	if err := s.Drain(ctx); err != nil {
+		s.Close() // running contexts cancel; runs persist as interrupted
+		return fmt.Errorf("serve: job drain: %w", err)
+	}
+	return s.Close()
 }

@@ -99,7 +99,7 @@ func postBatch(t *testing.T, url string, lines ...string) *http.Response {
 
 func TestHTTPEndpoints(t *testing.T) {
 	ing := testIngester(t, t.TempDir(), nil, 0)
-	srv := httptest.NewServer(NewHandler(ing))
+	srv := httptest.NewServer(NewHandler(ing, nil))
 	defer srv.Close()
 
 	resp := postBatch(t, srv.URL, clickLine(0), clickLine(1), clickLine(2))
@@ -182,7 +182,7 @@ func TestHTTPOverload429(t *testing.T) {
 	gate := make(chan struct{})
 	fail := &ingest.Failpoints{FoldDelay: func(seq int64) { <-gate }}
 	ing := testIngester(t, t.TempDir(), fail, 4<<10)
-	srv := httptest.NewServer(NewHandler(ing))
+	srv := httptest.NewServer(NewHandler(ing, nil))
 	defer srv.Close()
 
 	lines := make([]string, 20)
